@@ -1,0 +1,109 @@
+// Command qolsr-graph renders topologies and selected neighbor sets as
+// Graphviz DOT, reproducing the style of the paper's Fig. 5 (MPR set vs
+// topology-filtered ANS vs FNBP ANS on the same network).
+//
+// Usage:
+//
+//	qolsr-graph -example fig2                 # a worked example's topology
+//	qolsr-graph -example fig5 -selector fnbp  # highlight a selection at u
+//	qolsr-graph -random -degree 10 -node 0    # a random deployment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"qolsr"
+	"qolsr/internal/paperex"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qolsr-graph:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		example    = flag.String("example", "", "worked example: fig1, fig2, fig4, fig5")
+		random     = flag.Bool("random", false, "render a random Poisson deployment instead")
+		degree     = flag.Float64("degree", 8, "target degree for -random")
+		seed       = flag.Int64("seed", 1, "RNG seed for -random")
+		nodeIdx    = flag.Int("node", 0, "center node whose selection to highlight")
+		selName    = flag.String("selector", "fnbp", "selector to highlight: fnbp, topofilter, qolsr, full")
+		metricName = flag.String("metric", "bandwidth", "QoS metric")
+	)
+	flag.Parse()
+
+	m, err := qolsr.MetricByName(*metricName)
+	if err != nil {
+		return err
+	}
+	sel, err := qolsr.SelectorByName(*selName)
+	if err != nil {
+		return err
+	}
+
+	var g *qolsr.Graph
+	name := *example
+	switch {
+	case *random:
+		rng := rand.New(rand.NewSource(*seed))
+		dep := qolsr.Deployment{Field: qolsr.Field{Width: 400, Height: 400}, Radius: 100, Degree: *degree}
+		g, err = qolsr.BuildNetwork(dep, m.Name(), qolsr.DefaultInterval(), rng)
+		if err != nil {
+			return err
+		}
+		name = "random"
+	case *example != "":
+		var f *paperex.Fixture
+		switch *example {
+		case "fig1":
+			f = paperex.Figure1()
+		case "fig2":
+			f = paperex.Figure2()
+		case "fig4":
+			f = paperex.Figure4()
+		case "fig5":
+			f = paperex.Figure5()
+		default:
+			return fmt.Errorf("unknown example %q (have fig1, fig2, fig4, fig5)", *example)
+		}
+		g = f.G
+	default:
+		return fmt.Errorf("pass -example or -random")
+	}
+
+	if *nodeIdx < 0 || *nodeIdx >= g.N() {
+		return fmt.Errorf("node %d out of range [0,%d)", *nodeIdx, g.N())
+	}
+	u := int32(*nodeIdx)
+	w, err := g.Weights(m.Name())
+	if err != nil {
+		return err
+	}
+	view := qolsr.NewLocalView(g, u)
+	ans, err := sel.Select(view, m, w)
+	if err != nil {
+		return err
+	}
+
+	highlightNodes := map[int32]bool{u: true}
+	highlightEdges := map[int32]bool{}
+	for _, a := range ans {
+		highlightNodes[a] = true
+		if e, ok := g.EdgeBetween(u, a); ok {
+			highlightEdges[int32(e)] = true
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s selection at %s: %d neighbors\n", sel.Name(), g.Label(u), len(ans))
+	return qolsr.WriteDOT(os.Stdout, g, qolsr.DOTOptions{
+		Name:           fmt.Sprintf("%s-%s-%s", name, sel.Name(), m.Name()),
+		WeightChannel:  m.Name(),
+		HighlightNodes: highlightNodes,
+		HighlightEdges: highlightEdges,
+	})
+}

@@ -1,0 +1,183 @@
+// Command qolsr-sim regenerates the paper's evaluation figures and the
+// repository's ablations from the command line.
+//
+// Usage:
+//
+//	qolsr-sim -figure fig6            # one figure (fig6..fig9, or "all")
+//	qolsr-sim -figure fig8 -runs 20   # faster, noisier
+//	qolsr-sim -ablation loopfix       # A1: loop-fix variants
+//	qolsr-sim -figure fig6 -csv out.csv
+//
+// Tables go to stdout; progress goes to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"qolsr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qolsr-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		figureID = flag.String("figure", "", "figure to regenerate: fig6, fig7, fig8, fig9 or all")
+		ablation = flag.String("ablation", "", "ablation to run instead: loopfix, locallinks, mprs, policy, upper")
+		runs     = flag.Int("runs", 100, "independent topologies per density point")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		workers  = flag.Int("workers", 0, "run-level parallelism (0 = GOMAXPROCS)")
+		csvPath  = flag.String("csv", "", "also write the result as CSV to this file")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		degrees  = flag.String("degrees", "", "override the density axis, e.g. 10,15,20")
+	)
+	flag.Parse()
+
+	degreeAxis, err := parseDegrees(*degrees)
+	if err != nil {
+		return err
+	}
+
+	opts := qolsr.FigureOptions{Runs: *runs, Seed: *seed, Workers: *workers}
+	if !*quiet {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var figures []qolsr.Figure
+	switch {
+	case *ablation == "control":
+		// A4 runs on the live protocol stack, not the figure harness.
+		res, err := qolsr.RunControlSweep(qolsr.ControlSweepOptions{
+			Runs:    max(1, *runs/20),
+			Seed:    *seed,
+			Degrees: degreeAxis,
+		})
+		if err != nil {
+			return err
+		}
+		return res.WriteTable(os.Stdout)
+	case *ablation != "":
+		fig, err := ablationFigure(*ablation)
+		if err != nil {
+			return err
+		}
+		figures = []qolsr.Figure{fig}
+	case *figureID == "all" || *figureID == "":
+		figures = qolsr.PaperFigures()
+	default:
+		fig, err := qolsr.FigureByID(*figureID)
+		if err != nil {
+			return err
+		}
+		figures = []qolsr.Figure{fig}
+	}
+	if degreeAxis != nil {
+		for i := range figures {
+			figures[i].Degrees = degreeAxis
+		}
+	}
+
+	for _, fig := range figures {
+		res, err := qolsr.RunFigure(fig, opts)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteTable(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if fig.ID == "ablation-loopfix" {
+			if err := res.WriteDeliveryTable(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				return err
+			}
+			werr := res.WriteCSV(f)
+			cerr := f.Close()
+			if werr != nil {
+				return werr
+			}
+			if cerr != nil {
+				return cerr
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		}
+	}
+	return nil
+}
+
+// parseDegrees parses a comma-separated density axis; empty means "use the
+// figure's default".
+func parseDegrees(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad density %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ablationFigure assembles an ablation sweep reusing the paper's density
+// axis.
+func ablationFigure(name string) (qolsr.Figure, error) {
+	base := qolsr.Figure{
+		Metric:  qolsr.Bandwidth(),
+		Degrees: []float64{10, 15, 20, 25, 30, 35},
+	}
+	switch name {
+	case "loopfix":
+		base.ID = "ablation-loopfix"
+		base.Title = "A1: FNBP loop-fix variants (directed-advertisement delivery ratio)"
+		base.Quantity = "directed-delivery"
+		base.Protocols = qolsr.LoopFixAblation()
+	case "loopfix-size":
+		base.ID = "ablation-loopfix-size"
+		base.Title = "A1: FNBP loop-fix variants (advertised-set size)"
+		base.Quantity = "set-size"
+		base.Protocols = qolsr.LoopFixAblation()
+	case "locallinks":
+		base.ID = "ablation-locallinks"
+		base.Title = "A2: overhead with and without the source's local links"
+		base.Quantity = "overhead"
+		base.Protocols = qolsr.LocalLinksAblation()
+	case "mprs":
+		base.ID = "ablation-mprs"
+		base.Title = "MPR heuristics as advertised sets (set size)"
+		base.Quantity = "set-size"
+		base.Protocols = qolsr.MPRHeuristicAblation()
+	case "policy":
+		base.ID = "ablation-policy"
+		base.Title = "A6: QOLSR routing-policy readings (overhead)"
+		base.Quantity = "overhead"
+		base.Protocols = qolsr.RoutingPolicyAblation()
+	case "upper":
+		base.ID = "ablation-upper"
+		base.Title = "Paper protocols + full link-state bound (overhead)"
+		base.Quantity = "overhead"
+		base.Protocols = qolsr.UpperBoundProtocols()
+	default:
+		return qolsr.Figure{}, fmt.Errorf("unknown ablation %q", name)
+	}
+	return base, nil
+}

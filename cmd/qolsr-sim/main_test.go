@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseDegrees(t *testing.T) {
+	got, err := parseDegrees("10, 15,20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[1] != 15 || got[2] != 20 {
+		t.Errorf("parseDegrees = %v", got)
+	}
+	if got, err := parseDegrees(""); err != nil || got != nil {
+		t.Errorf("empty spec: %v %v", got, err)
+	}
+	if _, err := parseDegrees("a,b"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestAblationFigures(t *testing.T) {
+	for _, name := range []string{"loopfix", "loopfix-size", "locallinks", "mprs", "policy", "upper"} {
+		fig, err := ablationFigure(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fig.ID == "" || len(fig.Protocols) < 2 || len(fig.Degrees) == 0 {
+			t.Errorf("%s: incomplete figure %+v", name, fig)
+		}
+	}
+	if _, err := ablationFigure("nope"); err == nil {
+		t.Error("unknown ablation accepted")
+	}
+}

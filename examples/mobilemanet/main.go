@@ -1,0 +1,112 @@
+// Mobilemanet runs the protocol stack in the regime OLSR was designed for:
+// a mobile ad hoc network. Nodes wander under the random-waypoint model,
+// links form and break, and the soft-state protocol keeps re-learning its
+// neighborhoods and re-running FNBP selection. The program reports how well
+// the distributed state tracks the moving ground truth at several speeds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"qolsr"
+)
+
+const (
+	nodes    = 30
+	fieldLen = 350.0
+	radius   = 100.0
+	simFor   = 120 * time.Second
+)
+
+func main() {
+	fmt.Printf("%d nodes on a %gx%g field, R=%g, %v per speed setting\n\n",
+		nodes, fieldLen, fieldLen, radius, simFor)
+	fmt.Println("speed(u/s)  link-freshness  routed-frac  rebuilds")
+	for _, speed := range []float64{2, 8, 20} {
+		fresh, routed, rebuilds := runAt(speed)
+		fmt.Printf("%-10g  %-14.2f  %-11.2f  %d\n", speed, fresh, routed, rebuilds)
+	}
+	fmt.Println("\nlink-freshness: fraction of protocol-known links that are physically")
+	fmt.Println("current; routed-frac: reachable destinations with a route at node 0.")
+}
+
+func runAt(maxSpeed float64) (freshness, routedFrac float64, rebuilds int) {
+	rng := rand.New(rand.NewSource(11))
+	model := qolsr.Waypoint{
+		Field:    qolsr.Field{Width: fieldLen, Height: fieldLen},
+		MinSpeed: maxSpeed / 2,
+		MaxSpeed: maxSpeed,
+		Pause:    2 * time.Second,
+	}
+	initial := make([]qolsr.Point, nodes)
+	for i := range initial {
+		initial[i] = qolsr.Point{X: rng.Float64() * fieldLen, Y: rng.Float64() * fieldLen}
+	}
+	cfg := qolsr.DefaultProtocolConfig(qolsr.Bandwidth())
+	ms, err := qolsr.NewMobileSim(model, initial, radius, cfg, qolsr.NetworkOptions{Seed: 5}, time.Second, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms.Start()
+	ms.Run(simFor)
+
+	now := ms.NW.Engine.Now()
+	var current, known int
+	for i, node := range ms.NW.Nodes {
+		h := node.GenerateHello(now)
+		truth := map[int64]bool{}
+		for _, arc := range ms.NW.Phys.Arcs(int32(i)) {
+			truth[int64(ms.NW.Phys.ID(arc.To))] = true
+		}
+		for _, l := range h.Links {
+			known++
+			if truth[l.Neighbor] {
+				current++
+			}
+		}
+	}
+	if known > 0 {
+		freshness = float64(current) / float64(known)
+	}
+
+	table, err := ms.NW.Nodes[0].RoutingTable(now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reach := 0
+	routed := 0
+	seen := reachableFrom(ms, 0)
+	for x := 1; x < nodes; x++ {
+		if !seen[x] {
+			continue
+		}
+		reach++
+		if _, ok := table[int64(x)]; ok {
+			routed++
+		}
+	}
+	if reach > 0 {
+		routedFrac = float64(routed) / float64(reach)
+	}
+	return freshness, routedFrac, ms.Rebuilds
+}
+
+func reachableFrom(ms *qolsr.MobileSim, src int32) []bool {
+	seen := make([]bool, ms.NW.Phys.N())
+	seen[src] = true
+	queue := []int32{src}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, arc := range ms.NW.Phys.Arcs(x) {
+			if !seen[arc.To] {
+				seen[arc.To] = true
+				queue = append(queue, arc.To)
+			}
+		}
+	}
+	return seen
+}

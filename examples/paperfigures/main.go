@@ -1,0 +1,154 @@
+// Paperfigures walks the paper's worked examples (Figs. 1, 2, 4 and 5) as
+// executable code, printing each claim next to what the implementation
+// computes. The same fixtures are asserted in the test suite; this program
+// narrates them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"qolsr"
+	"qolsr/internal/paperex"
+)
+
+func main() {
+	figure1()
+	figure2()
+	figure4()
+	figure5()
+}
+
+func weights(f *paperex.Fixture) []float64 {
+	w, err := f.G.Weights(paperex.Channel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return w
+}
+
+func labels(f *paperex.Fixture, idx []int32) []string {
+	out := make([]string, len(idx))
+	for i, x := range idx {
+		out[i] = f.G.Label(x)
+	}
+	return out
+}
+
+// figure1 — "the widest path between v1 and v3 will not be used by QOLSR".
+func figure1() {
+	fmt.Println("== Figure 1: QOLSR misses the widest path ==")
+	f := paperex.Figure1()
+	m := qolsr.Bandwidth()
+
+	// Every node advertises its full neighborhood here (in the 6-ring all
+	// neighbors are mandatory MPRs); QOLSR still routes min-hop.
+	sets := make([][]int32, f.G.N())
+	for x := int32(0); int(x) < f.G.N(); x++ {
+		for _, arc := range f.G.Arcs(x) {
+			sets[x] = append(sets[x], arc.To)
+		}
+	}
+	adv, err := qolsr.BuildAdvertised(f.G, sets, paperex.Channel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v1, v3 := f.Node("v1"), f.Node("v3")
+	q, err := qolsr.EvaluatePair(f.G, adv, m, paperex.Channel, v1, v3, qolsr.MinHopThenQoS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("QOLSR (min-hop) route v1->v3: bandwidth %.0f over %d hops (via v2)\n", q.Achieved, q.Hops)
+	fmt.Printf("widest path value: %.0f (v1-v6-v5-v4-v3) — overhead %.0f%%\n", q.Optimal, 100*q.Overhead)
+}
+
+// figure2 — FNBP's selection narrative at node u.
+func figure2() {
+	fmt.Println("\n== Figure 2: FNBP selection at node u ==")
+	f := paperex.Figure2()
+	m := qolsr.Bandwidth()
+	w := weights(f)
+	u := f.Node("u")
+	view := qolsr.NewLocalView(f.G, u)
+
+	// The localization limit: u cannot see the link (v8,v9).
+	local := qolsr.Dijkstra(f.G, m, w, u, view, -1)
+	full := qolsr.Dijkstra(f.G, m, w, u, nil, -1)
+	fmt.Printf("u's best path to v9 inside G_u: %.0f (via v7); in the full graph: %.0f (via v6-v8)\n",
+		local.Dist[f.Node("v9")], full.Dist[f.Node("v9")])
+
+	sel, err := qolsr.FNBP{}.SelectFull(view, m, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FNBP ANS(u) = %v\n", labels(f, sel.ANS))
+	for _, target := range []string{"v4", "v5", "v3", "v10", "v11", "v9"} {
+		hop := sel.Cover[f.Node(target)]
+		fmt.Printf("  %s is served through %s\n", target, f.G.Label(hop))
+	}
+}
+
+// figure4 — the mutual-selection loop and its fix.
+func figure4() {
+	fmt.Println("\n== Figure 4: the last-limiting-link loop and the fix ==")
+	f := paperex.Figure4()
+	m := qolsr.Bandwidth()
+	w := weights(f)
+	A, B, E := f.Node("A"), f.Node("B"), f.Node("E")
+
+	cover := func(fn qolsr.FNBP, node int32) map[int32]int32 {
+		sel, err := fn.SelectFull(qolsr.NewLocalView(f.G, node), m, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sel.Cover
+	}
+	broken := qolsr.FNBP{LoopFix: qolsr.LoopFixOff}
+	fmt.Printf("without the rule: A forwards for E via %s, B via %s -> ping-pong loop, E unreachable\n",
+		f.G.Label(cover(broken, A)[E]), f.G.Label(cover(broken, B)[E]))
+	fixed := qolsr.FNBP{}
+	fmt.Printf("with the rule:    A forwards for E via %s -> delivered through D's last link\n",
+		f.G.Label(cover(fixed, A)[E]))
+}
+
+// figure5 — the three selected sets side by side, as DOT on stdout when
+// requested.
+func figure5() {
+	fmt.Println("\n== Figure 5: set sizes on one topology ==")
+	f := paperex.Figure5()
+	m := qolsr.Bandwidth()
+	w := weights(f)
+	u := f.Node("u")
+	view := qolsr.NewLocalView(f.G, u)
+
+	mprs, err := qolsr.SelectMPR(view, qolsr.MPRGreedy, m, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tf, err := (qolsr.TopologyFilter{}).Select(view, m, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fnbp, err := (qolsr.FNBP{}).Select(view, m, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MPR set of u:              %v\n", labels(f, mprs))
+	fmt.Printf("topology-filtered ANS:     %v\n", labels(f, tf))
+	fmt.Printf("FNBP ANS:                  %v\n", labels(f, fnbp))
+
+	if len(os.Args) > 1 && os.Args[1] == "-dot" {
+		highlight := map[int32]bool{u: true}
+		for _, x := range fnbp {
+			highlight[x] = true
+		}
+		if err := qolsr.WriteDOT(os.Stdout, f.G, qolsr.DOTOptions{
+			Name:           "figure5",
+			WeightChannel:  paperex.Channel,
+			HighlightNodes: highlight,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

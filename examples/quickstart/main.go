@@ -1,0 +1,75 @@
+// Quickstart: build a random sensor field, run the paper's FNBP selection
+// at one node, and route a packet over the advertised topology.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"qolsr"
+)
+
+func main() {
+	// 1. Deploy a sensor field the way the paper does: Poisson point
+	//    process, unit-disk links, uniform QoS weights.
+	rng := rand.New(rand.NewSource(7))
+	dep := qolsr.Deployment{
+		Field:  qolsr.Field{Width: 500, Height: 500},
+		Radius: 100,
+		Degree: 10, // target mean neighbors per node
+	}
+	m := qolsr.Bandwidth()
+	g, err := qolsr.BuildNetwork(dep, m.Name(), qolsr.DefaultInterval(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed %d nodes with %d links\n", g.N(), g.M())
+
+	// 2. Run FNBP at node 0: which neighbors should it advertise so that
+	//    bandwidth-optimal paths survive?
+	w, err := g.Weights(m.Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	view := qolsr.NewLocalView(g, 0)
+	sel, err := qolsr.FNBP{}.SelectFull(view, m, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node 0 has %d one-hop and %d two-hop neighbors\n", len(view.N1), len(view.N2))
+	fmt.Printf("FNBP advertises only %d of them: %v\n", len(sel.ANS), sel.ANS)
+
+	// 3. Run the selection at every node and build the network-wide
+	//    advertised topology.
+	sets := make([][]int32, g.N())
+	var total int
+	for u := int32(0); int(u) < g.N(); u++ {
+		ans, err := (qolsr.FNBP{}).Select(qolsr.NewLocalView(g, u), m, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sets[u] = ans
+		total += len(ans)
+	}
+	fmt.Printf("network-wide: %.2f advertised neighbors per node\n", float64(total)/float64(g.N()))
+
+	adv, err := qolsr.BuildAdvertised(g, sets, m.Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("advertised topology: %d of %d physical links\n", adv.M(), g.M())
+
+	// 4. Route a random connected pair and compare with the centralized
+	//    optimum (the paper's overhead metric).
+	src, dst, err := qolsr.PickConnectedPair(g, rng, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := qolsr.EvaluatePair(g, adv, m, m.Name(), src, dst, qolsr.QoSOptimal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("route %d -> %d: bandwidth %.1f over %d hops (optimum %.1f, overhead %.1f%%)\n",
+		src, dst, ev.Achieved, ev.Hops, ev.Optimal, 100*ev.Overhead)
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"qolsr/internal/graph"
+	"qolsr/internal/metric"
+)
+
+// FNBP is the paper's contribution: "first node on best path" QANS
+// selection (Algorithms 1 and 2, unified over additive and concave metrics).
+//
+// For every 1-hop and 2-hop neighbor v, the center u computes the set
+// fP(u,v) of first hops of QoS-optimal paths inside its local view G_u and
+// advertises a small set of first hops that covers every target:
+//
+//   - step 1 (1-hop targets): nothing is selected when the direct link is
+//     itself optimal (v ∈ fP(u,v)) or when an already-selected neighbor
+//     starts an optimal path; otherwise the ≺-best member of fP(u,v) is
+//     added.
+//   - step 2 (2-hop targets): the ≺-best member of fP(u,v) is added unless
+//     one is already selected. When one is already selected but u's
+//     identifier is smaller than every member of fP(u,v), the "last limiting
+//     link" rule (paper Fig. 4) additionally selects the ≺-best member that
+//     is a direct neighbor of v, so that v keeps an advertised access link
+//     and mutual-selection loops cannot isolate it.
+//
+// The zero value is the paper's algorithm; the fields toggle ablations.
+type FNBP struct {
+	// LoopFix selects the Fig. 4 rule variant; the zero value is the
+	// paper's pseudocode (LoopFixLiteral).
+	LoopFix LoopFixMode
+	// UseReference computes first-hop sets with the O(|N1|·Dijkstra)
+	// definition-level oracle instead of the fast single-search
+	// algorithms. Results are identical (property-tested); this exists
+	// for ablation A3 and debugging.
+	UseReference bool
+}
+
+// LoopFixMode selects how the step-2 else branch (paper Algorithm 1 lines
+// 11–15) handles covered 2-hop targets when the center has the smallest
+// identifier among the optimal first hops.
+type LoopFixMode int
+
+const (
+	// LoopFixLiteral follows the pseudocode: select max≺(fP(u,v)), the
+	// first hop with the best direct link. This reading reproduces all
+	// three of the paper's worked narratives (v10 and v11 in Fig. 2
+	// choose v1 and v6 without growing the set; Fig. 4's node A selects
+	// D). It is the default.
+	LoopFixLiteral LoopFixMode = iota
+	// LoopFixAdjacent follows the prose ("select a node w such that the
+	// path uwv exists"): select the ≺-best member of fP(u,v) adjacent to
+	// v. It repairs Fig. 4 for any weight assignment but also fires on
+	// harmless cases like Fig. 2's v10, growing the set (ablation).
+	LoopFixAdjacent
+	// LoopFixOff disables the rule entirely (ablation A1), re-enabling
+	// the Fig. 4 pathology.
+	LoopFixOff
+)
+
+// Name implements Selector.
+func (f FNBP) Name() string {
+	switch f.LoopFix {
+	case LoopFixAdjacent:
+		return "fnbp-adjfix"
+	case LoopFixOff:
+		return "fnbp-nofix"
+	default:
+		return "fnbp"
+	}
+}
+
+// Stats reports how each FNBP rule contributed to a selection.
+type Stats struct {
+	// Step1Selected counts neighbors added for 1-hop targets.
+	Step1Selected int
+	// Step1DirectOptimal counts 1-hop targets already served by their
+	// direct link.
+	Step1DirectOptimal int
+	// Step2Selected counts neighbors added for 2-hop targets.
+	Step2Selected int
+	// Covered counts targets skipped because fP(u,v) already intersected
+	// the ANS.
+	Covered int
+	// LoopFixSelected counts neighbors added by the Fig. 4 rule.
+	LoopFixSelected int
+}
+
+// Selection is the full outcome of FNBP at one node.
+type Selection struct {
+	// ANS is the advertised neighbor set in ascending NodeID order.
+	ANS []int32
+	// Cover maps every reachable 1- and 2-hop target to the neighbor the
+	// center forwards through for that target: the target itself when its
+	// direct link is optimal, otherwise the ANS member serving it. This
+	// is the paper's forwarding semantics, under which the Fig. 4 mutual
+	// selection loop is observable (and repaired by the loop-fix rule,
+	// which overrides the assignment with the selected access node).
+	Cover map[int32]int32
+	// Stats is the rule-level accounting.
+	Stats Stats
+}
+
+// Select implements Selector.
+func (f FNBP) Select(view *graph.LocalView, m metric.Metric, w []float64) ([]int32, error) {
+	sel, err := f.SelectFull(view, m, w)
+	if err != nil {
+		return nil, err
+	}
+	return sel.ANS, nil
+}
+
+// SelectFull runs the selection and returns the advertised set together with
+// per-target forwarding assignments and statistics.
+func (f FNBP) SelectFull(view *graph.LocalView, m metric.Metric, w []float64) (*Selection, error) {
+	g := view.G
+	fh, err := f.firstHops(view, m, w)
+	if err != nil {
+		return nil, err
+	}
+
+	sel := &Selection{Cover: make(map[int32]int32, len(view.N1)+len(view.N2))}
+
+	// The ANS as a bitset over N1 positions plus an ordered list.
+	blocks := (len(view.N1) + 63) / 64
+	ansBits := make([]uint64, blocks)
+	add := func(pos int32) {
+		if ansBits[pos/64]&(1<<(uint(pos)%64)) != 0 {
+			return
+		}
+		ansBits[pos/64] |= 1 << (uint(pos) % 64)
+		sel.ANS = append(sel.ANS, view.N1[pos])
+	}
+	inANS := func(pos int32) bool {
+		return ansBits[pos/64]&(1<<(uint(pos)%64)) != 0
+	}
+	// coveredBy returns the ≺-best already-selected member of fP(u,v),
+	// or -1.
+	coveredBy := func(v int32) int32 {
+		return bestMember(fh, m, v, inANS)
+	}
+
+	// Step 1: 1-hop targets in ascending ID order.
+	for i, v := range view.N1 {
+		if fh.Contains(v, int32(i)) {
+			// Direct link already optimal: no ANS needed for v.
+			sel.Cover[v] = v
+			sel.Stats.Step1DirectOptimal++
+			continue
+		}
+		if by := coveredBy(v); by >= 0 {
+			sel.Cover[v] = view.N1[by]
+			sel.Stats.Covered++
+			continue
+		}
+		if best := bestMember(fh, m, v, nil); best >= 0 {
+			add(best)
+			sel.Cover[v] = view.N1[best]
+			sel.Stats.Step1Selected++
+		}
+	}
+
+	// Step 2: 2-hop targets in ascending ID order.
+	uID := g.ID(view.U)
+	for _, v := range view.N2 {
+		by := coveredBy(v)
+		if by < 0 {
+			if best := bestMember(fh, m, v, nil); best >= 0 {
+				add(best)
+				sel.Cover[v] = view.N1[best]
+				sel.Stats.Step2Selected++
+			}
+			continue
+		}
+		sel.Cover[v] = view.N1[by]
+		sel.Stats.Covered++
+		if f.LoopFix == LoopFixOff {
+			continue
+		}
+		// Fig. 4 rule: when u's ID is smaller than every first hop's ID,
+		// u is the responsible party for keeping v served; it selects the
+		// ≺-best first hop (literal pseudocode) or the ≺-best first hop
+		// adjacent to v (prose variant) and forwards for v through it, so
+		// the forwarding assignment cannot ping-pong between peers when
+		// the last link into v is the limiting one.
+		smallest := true
+		fh.ForEach(v, func(pos int32) {
+			if g.ID(view.N1[pos]) < uID {
+				smallest = false
+			}
+		})
+		if !smallest {
+			continue
+		}
+		var filter func(pos int32) bool
+		if f.LoopFix == LoopFixAdjacent {
+			filter = func(pos int32) bool {
+				_, ok := g.EdgeBetween(view.N1[pos], v)
+				return ok
+			}
+		}
+		if best := bestMember(fh, m, v, filter); best >= 0 {
+			if !inANS(best) {
+				add(best)
+				sel.Stats.LoopFixSelected++
+			}
+			sel.Cover[v] = view.N1[best]
+		}
+	}
+
+	sortByID(g, sel.ANS)
+	return sel, nil
+}
+
+// SelectWithStats runs the selection and returns the advertised set and the
+// rule-level statistics.
+func (f FNBP) SelectWithStats(view *graph.LocalView, m metric.Metric, w []float64) ([]int32, Stats, error) {
+	sel, err := f.SelectFull(view, m, w)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return sel.ANS, sel.Stats, nil
+}
+
+func (f FNBP) firstHops(view *graph.LocalView, m metric.Metric, w []float64) (*graph.FirstHops, error) {
+	if f.UseReference {
+		return graph.FirstHopsReference(view, m, w), nil
+	}
+	fh, err := graph.ComputeFirstHops(view, m, w)
+	if err != nil {
+		return nil, fmt.Errorf("core: fnbp: %w", err)
+	}
+	return fh, nil
+}

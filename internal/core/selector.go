@@ -1,0 +1,124 @@
+// Package core implements the paper's contribution — FNBP ("first node on
+// best path" QANS selection, Algorithms 1 and 2) — together with the two
+// advertised-set baselines it is evaluated against: the original QOLSR MPR
+// heuristics used directly as the advertised set, and the
+// relative-neighborhood-graph topology filtering of Moraru & Simplot-Ryl.
+//
+// All selectors answer the same question: given a node's two-hop local view
+// and a QoS metric, which neighbors should the node advertise in its TC
+// messages so that QoS-good routes survive in the advertised topology?
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"qolsr/internal/graph"
+	"qolsr/internal/metric"
+	"qolsr/internal/mpr"
+)
+
+// Selector computes a node's advertised neighbor set from its local view.
+// Implementations must be stateless and safe for concurrent use.
+type Selector interface {
+	// Name returns a short identifier used in tables and benchmarks.
+	Name() string
+	// Select returns the advertised set of the view's center as global
+	// node indices in ascending NodeID order. w is indexed by edge and
+	// holds the metric's link values (typically g.Weights(m.Name())).
+	Select(view *graph.LocalView, m metric.Metric, w []float64) ([]int32, error)
+}
+
+// prefer reports whether 1-hop neighbor at N1 position i is preferred over
+// position j under the paper's ≺ ordering: strictly better direct link
+// first, smaller identifier on ties. Since N1 is sorted by ascending ID,
+// position order is ID order.
+func prefer(m metric.Metric, direct []float64, i, j int32) bool {
+	if m.Better(direct[i], direct[j]) {
+		return true
+	}
+	if m.Better(direct[j], direct[i]) {
+		return false
+	}
+	return i < j
+}
+
+// bestMember returns the most-preferred N1 position of fP(u,v) satisfying
+// the filter (nil filter accepts everything), or -1 when empty. This is the
+// paper's max≺BW / min≺D applied to fP(u,v).
+func bestMember(fh *graph.FirstHops, m metric.Metric, v int32, filter func(pos int32) bool) int32 {
+	best := int32(-1)
+	fh.ForEach(v, func(pos int32) {
+		if filter != nil && !filter(pos) {
+			return
+		}
+		if best == -1 || prefer(m, fh.DirectWeight, pos, best) {
+			best = pos
+		}
+	})
+	return best
+}
+
+// sortByID sorts node indices by ascending external ID.
+func sortByID(g *graph.Graph, s []int32) {
+	sort.Slice(s, func(i, j int) bool { return g.ID(s[i]) < g.ID(s[j]) })
+}
+
+// QOLSRAdapter reproduces the original QOLSR behaviour where the advertised
+// set and the MPR set are the same thing: the advertised set is simply the
+// MPR set computed by the configured heuristic (the paper's "Original QOLSR"
+// curve uses MPR-2).
+type QOLSRAdapter struct {
+	Heuristic mpr.Heuristic
+}
+
+// Name implements Selector.
+func (q QOLSRAdapter) Name() string {
+	return "qolsr-" + q.Heuristic.String()
+}
+
+// Select implements Selector.
+func (q QOLSRAdapter) Select(view *graph.LocalView, m metric.Metric, w []float64) ([]int32, error) {
+	return mpr.Select(view, q.Heuristic, m, w)
+}
+
+// FullAdvertise advertises every 1-hop neighbor — the full link-state upper
+// bound. It is not part of the paper's comparison but bounds the achievable
+// QoS of any advertised-set scheme, which makes it a useful ablation
+// reference.
+type FullAdvertise struct{}
+
+// Name implements Selector.
+func (FullAdvertise) Name() string { return "full-linkstate" }
+
+// Select implements Selector.
+func (FullAdvertise) Select(view *graph.LocalView, _ metric.Metric, _ []float64) ([]int32, error) {
+	out := append([]int32(nil), view.N1...)
+	return out, nil
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Selector = QOLSRAdapter{}
+	_ Selector = FullAdvertise{}
+	_ Selector = FNBP{}
+	_ Selector = TopologyFilter{}
+)
+
+// ByName returns a selector configured like the paper's three evaluation
+// curves: "qolsr" (MPR-2 as advertised set), "topofilter", and "fnbp".
+// "full" returns the link-state upper bound.
+func ByName(name string) (Selector, error) {
+	switch name {
+	case "qolsr":
+		return QOLSRAdapter{Heuristic: mpr.QOLSR2}, nil
+	case "topofilter":
+		return TopologyFilter{}, nil
+	case "fnbp":
+		return FNBP{}, nil
+	case "full":
+		return FullAdvertise{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown selector %q", name)
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"qolsr/internal/graph"
+	"qolsr/internal/metric"
+)
+
+// TopologyFilter is the QANS baseline of Moraru & Simplot-Ryl (paper Sec. II,
+// [7]): the local view is first reduced with the relative-neighborhood-graph
+// rule under the QoS weight, then, for every 1- and 2-hop neighbor, the node
+// advertises the first hops of the best paths of at most two hops inside the
+// reduced view.
+//
+// Two behaviours noted by the paper are reproduced faithfully:
+//
+//   - paths are limited to two hops, so QoS gains from longer detours are
+//     unreachable;
+//   - every first hop tied for the best value is advertised ("they will all
+//     be selected as advertised neighbors"), which is what keeps this set
+//     larger than FNBP's.
+//
+// Direct links that survive the reduction are advertised as well (they are
+// the reduced topology a node exposes); OmitSurvivingDirect drops them for
+// ablation.
+//
+// The zero value is the strict reading of [7]: both legs of a two-hop
+// detour must survive the reduction and targets with no reduced route
+// within two hops are left to multi-hop routing over the advertised reduced
+// topology (which the reduction provably keeps connected). The flags widen
+// the reading for ablations.
+type TopologyFilter struct {
+	// OmitSurvivingDirect excludes RNG-surviving direct neighbors from
+	// the advertised set, keeping only first hops of two-hop detours.
+	OmitSurvivingDirect bool
+	// FirstLegUnfiltered also considers detours u-x-v whose first leg
+	// (u,x) was removed by the reduction (u always knows its own links),
+	// requiring survival only of the advertised leg (x,v).
+	FirstLegUnfiltered bool
+	// UnreducedFallback serves 2-hop targets unreachable within two
+	// reduced hops from the unreduced view (guaranteeing 2-hop coverage
+	// at the cost of extra advertisements).
+	UnreducedFallback bool
+}
+
+// Name implements Selector.
+func (tf TopologyFilter) Name() string { return "topofilter" }
+
+// TFStats reports detail about one topology-filtering selection.
+type TFStats struct {
+	// SurvivingDirect counts direct links kept by the reduction.
+	SurvivingDirect int
+	// DetourSelected counts first hops advertised for two-hop detours.
+	DetourSelected int
+	// FallbackTargets counts 2-hop targets unreachable within two hops of
+	// the reduced view, served from the unreduced view instead.
+	FallbackTargets int
+}
+
+// Select implements Selector.
+func (tf TopologyFilter) Select(view *graph.LocalView, m metric.Metric, w []float64) ([]int32, error) {
+	ans, _, err := tf.SelectWithStats(view, m, w)
+	return ans, err
+}
+
+// SelectWithStats is Select plus rule-level accounting.
+func (tf TopologyFilter) SelectWithStats(view *graph.LocalView, m metric.Metric, w []float64) ([]int32, TFStats, error) {
+	var stats TFStats
+	g := view.G
+	rv := graph.ReduceRNG(view, m, w)
+
+	selected := make(map[int32]bool) // N1 position set
+	// Direct links surviving the reduction are part of the advertised
+	// reduced topology.
+	directEdge := make([]int32, len(view.N1)) // edge index u-x, -1 when absent
+	directKeep := make([]bool, len(view.N1))
+	for i, x := range view.N1 {
+		e, ok := g.EdgeBetween(view.U, x)
+		if !ok {
+			directEdge[i] = -1
+			continue
+		}
+		directEdge[i] = int32(e)
+		directKeep[i] = rv.Keep[int32(e)]
+		if directKeep[i] {
+			stats.SurvivingDirect++
+			if !tf.OmitSurvivingDirect {
+				selected[int32(i)] = true
+			}
+		}
+	}
+
+	// twoHopBest collects, for target v, the best value over candidate
+	// routes of at most two hops and every first hop achieving it.
+	type candidate struct {
+		val    float64
+		direct bool
+		pos    int32
+	}
+	for _, v := range view.Targets() {
+		var cands []candidate
+		if i := view.N1Index(v); i >= 0 && directKeep[i] {
+			cands = append(cands, candidate{val: w[directEdge[i]], direct: true})
+		}
+		collect := func(reduced bool) {
+			for i, x := range view.N1 {
+				if x == v {
+					continue
+				}
+				eUX := directEdge[i]
+				if eUX < 0 {
+					continue
+				}
+				eXV, ok := g.EdgeBetween(x, v)
+				if !ok {
+					continue
+				}
+				if reduced {
+					if !rv.Keep[int32(eXV)] {
+						continue
+					}
+					if !tf.FirstLegUnfiltered && !rv.Keep[eUX] {
+						continue
+					}
+				}
+				val := m.Combine(m.Combine(m.Identity(), w[eUX]), w[eXV])
+				cands = append(cands, candidate{val: val, pos: int32(i)})
+			}
+		}
+		collect(true)
+		if len(cands) == 0 {
+			// The reduced view cannot reach v within two hops. Strictly
+			// following [7], v is left to multi-hop routing over the
+			// advertised reduced topology; with UnreducedFallback the
+			// unreduced two-hop paths that define v's view membership
+			// are advertised instead.
+			stats.FallbackTargets++
+			if !tf.UnreducedFallback {
+				continue
+			}
+			if i := view.N1Index(v); i >= 0 && directEdge[i] >= 0 {
+				cands = append(cands, candidate{val: w[directEdge[i]], direct: true})
+			}
+			collect(false)
+			if len(cands) == 0 {
+				continue
+			}
+		}
+		best := cands[0].val
+		for _, c := range cands[1:] {
+			if m.Better(c.val, best) {
+				best = c.val
+			}
+		}
+		directBest := false
+		for _, c := range cands {
+			if c.direct && !m.Better(best, c.val) {
+				directBest = true
+			}
+		}
+		if directBest {
+			continue // the (advertised) direct link already serves v
+		}
+		for _, c := range cands {
+			if !c.direct && c.val == best {
+				if !selected[c.pos] {
+					selected[c.pos] = true
+					stats.DetourSelected++
+				}
+			}
+		}
+	}
+
+	out := make([]int32, 0, len(selected))
+	for pos := range selected {
+		out = append(out, view.N1[pos])
+	}
+	sortByID(g, out)
+	return out, stats, nil
+}

@@ -1,0 +1,283 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"qolsr/internal/geom"
+	"qolsr/internal/metric"
+)
+
+// Quantity selects which measured series a figure reports.
+type Quantity string
+
+// Quantities reported by the paper's figures.
+const (
+	// QuantitySetSize is the mean advertised-set size per node.
+	QuantitySetSize Quantity = "set-size"
+	// QuantityOverhead is the mean relative regret vs the optimum.
+	QuantityOverhead Quantity = "overhead"
+	// QuantityDelivery is the delivery ratio (ablations only).
+	QuantityDelivery Quantity = "delivery"
+	// QuantityDirectedDelivery is the all-pairs delivery ratio under
+	// directed-advertisement semantics (ablation A1).
+	QuantityDirectedDelivery Quantity = "directed-delivery"
+)
+
+// Figure describes one paper figure to regenerate.
+type Figure struct {
+	// ID is the figure identifier ("fig6" ... "fig9").
+	ID string
+	// Title is the paper's caption summary.
+	Title string
+	// Metric is the QoS metric of the sweep.
+	Metric metric.Metric
+	// Degrees is the density x-axis.
+	Degrees []float64
+	// Quantity is the reported series.
+	Quantity Quantity
+	// Protocols are the compared curves.
+	Protocols []ProtocolSpec
+}
+
+// PaperFigures returns the four evaluation figures with the paper's
+// parameters. The x-ranges follow the plots: bandwidth sweeps density 10-35,
+// delay sweeps 5-30.
+func PaperFigures() []Figure {
+	return []Figure{
+		{
+			ID:        "fig6",
+			Title:     "Size of the advertised set vs density (bandwidth)",
+			Metric:    metric.Bandwidth(),
+			Degrees:   []float64{10, 15, 20, 25, 30, 35},
+			Quantity:  QuantitySetSize,
+			Protocols: PaperProtocols(),
+		},
+		{
+			ID:        "fig7",
+			Title:     "Size of the advertised set vs density (delay)",
+			Metric:    metric.Delay(),
+			Degrees:   []float64{5, 10, 15, 20, 25, 30},
+			Quantity:  QuantitySetSize,
+			Protocols: PaperProtocols(),
+		},
+		{
+			ID:        "fig8",
+			Title:     "Bandwidth overhead vs density",
+			Metric:    metric.Bandwidth(),
+			Degrees:   []float64{10, 15, 20, 25, 30, 35},
+			Quantity:  QuantityOverhead,
+			Protocols: PaperProtocols(),
+		},
+		{
+			ID:        "fig9",
+			Title:     "Delay overhead vs density",
+			Metric:    metric.Delay(),
+			Degrees:   []float64{5, 10, 15, 20, 25, 30},
+			Quantity:  QuantityOverhead,
+			Protocols: PaperProtocols(),
+		},
+	}
+}
+
+// FigureByID returns the paper figure with the given ID.
+func FigureByID(id string) (Figure, error) {
+	for _, f := range PaperFigures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("eval: unknown figure %q (have fig6..fig9)", id)
+}
+
+// FigureOptions tunes a figure run without changing its definition.
+type FigureOptions struct {
+	// Runs overrides the per-point run count (default 100, the paper's).
+	Runs int
+	// Seed is the base RNG seed (default 1).
+	Seed int64
+	// WeightInterval overrides the link weight law (default [1,10]).
+	WeightInterval metric.Interval
+	// Workers bounds run-level parallelism.
+	Workers int
+	// Progress, when non-nil, receives a line per completed density.
+	Progress func(format string, args ...any)
+}
+
+// FigureResult is a regenerated figure: one PointResult per density.
+type FigureResult struct {
+	Figure Figure
+	Points []*PointResult
+	// Runs is the per-point run count used.
+	Runs int
+}
+
+// RunFigure regenerates a figure.
+func RunFigure(fig Figure, opts FigureOptions) (*FigureResult, error) {
+	runs := opts.Runs
+	if runs <= 0 {
+		runs = 100
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	iv := opts.WeightInterval
+	if iv == (metric.Interval{}) {
+		iv = metric.DefaultInterval()
+	}
+	res := &FigureResult{Figure: fig, Runs: runs}
+	for _, deg := range fig.Degrees {
+		sc := Scenario{
+			Deployment:     geom.PaperDeployment(deg),
+			Metric:         fig.Metric,
+			WeightInterval: iv,
+			Runs:           runs,
+			// Decorrelate densities while keeping runs reproducible.
+			Seed:                    seed + int64(deg)*100003,
+			Workers:                 opts.Workers,
+			MeasureDirectedDelivery: fig.Quantity == QuantityDirectedDelivery,
+		}
+		point, err := RunPoint(sc, fig.Protocols)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s degree %g: %w", fig.ID, deg, err)
+		}
+		res.Points = append(res.Points, point)
+		if opts.Progress != nil {
+			opts.Progress("%s density %g done (%d runs, %.0f nodes avg)",
+				fig.ID, deg, runs, point.Nodes.Mean())
+		}
+	}
+	return res, nil
+}
+
+// series extracts the figure's quantity for one protocol at one point.
+func (fr *FigureResult) series(p *PointResult, name string) (mean, ci float64) {
+	pp := p.Protocols[name]
+	if pp == nil {
+		return 0, 0
+	}
+	switch fr.Figure.Quantity {
+	case QuantitySetSize:
+		return pp.SetSize.Mean(), pp.SetSize.CI95()
+	case QuantityOverhead:
+		return pp.Overhead.Mean(), pp.Overhead.CI95()
+	case QuantityDelivery:
+		return pp.Delivery.Mean(), pp.Delivery.CI95()
+	case QuantityDirectedDelivery:
+		return pp.DirectedDelivery.Mean(), pp.DirectedDelivery.CI95()
+	default:
+		return 0, 0
+	}
+}
+
+// ProtocolNames returns the figure's protocol column order.
+func (fr *FigureResult) ProtocolNames() []string {
+	names := make([]string, 0, len(fr.Figure.Protocols))
+	for _, p := range fr.Figure.Protocols {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// Value returns the mean series value for one protocol at the i-th density.
+func (fr *FigureResult) Value(i int, protocol string) float64 {
+	v, _ := fr.series(fr.Points[i], protocol)
+	return v
+}
+
+// WriteTable renders the figure as an aligned text table with 95% CIs —
+// the same rows the paper plots.
+func (fr *FigureResult) WriteTable(w io.Writer) error {
+	names := fr.ProtocolNames()
+	if _, err := fmt.Fprintf(w, "# %s — %s (%d runs/point)\n", fr.Figure.ID, fr.Figure.Title, fr.Runs); err != nil {
+		return err
+	}
+	header := []string{"density"}
+	for _, n := range names {
+		header = append(header, n, "±95%")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(pad(header), "  ")); err != nil {
+		return err
+	}
+	for i, p := range fr.Points {
+		row := []string{fmt.Sprintf("%g", fr.Figure.Degrees[i])}
+		for _, n := range names {
+			mean, ci := fr.series(p, n)
+			row = append(row, fmt.Sprintf("%.4f", mean), fmt.Sprintf("%.4f", ci))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(pad(row), "  ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the figure as CSV (density plus one mean and one CI
+// column per protocol).
+func (fr *FigureResult) WriteCSV(w io.Writer) error {
+	names := fr.ProtocolNames()
+	cols := []string{"density"}
+	for _, n := range names {
+		cols = append(cols, n+"_mean", n+"_ci95")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i, p := range fr.Points {
+		row := []string{fmt.Sprintf("%g", fr.Figure.Degrees[i])}
+		for _, n := range names {
+			mean, ci := fr.series(p, n)
+			row = append(row, fmt.Sprintf("%.6f", mean), fmt.Sprintf("%.6f", ci))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDeliveryTable renders per-protocol delivery ratios, used by the
+// loop-fix ablation.
+func (fr *FigureResult) WriteDeliveryTable(w io.Writer) error {
+	names := fr.ProtocolNames()
+	if _, err := fmt.Fprintf(w, "# %s — delivery ratio\n", fr.Figure.ID); err != nil {
+		return err
+	}
+	for i, p := range fr.Points {
+		parts := []string{fmt.Sprintf("density %g:", fr.Figure.Degrees[i])}
+		for _, n := range names {
+			pp := p.Protocols[n]
+			parts = append(parts, fmt.Sprintf("%s=%.4f", n, pp.Delivery.Mean()))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(cells []string) []string {
+	const width = 12
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if len(c) < width {
+			c = c + strings.Repeat(" ", width-len(c))
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// SortedProtocolNames lists the protocols of a point result in stable
+// order, for callers iterating a bare PointResult.
+func (p *PointResult) SortedProtocolNames() []string {
+	names := make([]string, 0, len(p.Protocols))
+	for n := range p.Protocols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,94 @@
+// Package eval reproduces the paper's evaluation (Sec. IV): Poisson
+// deployments on a 1000×1000 field with R = 100, uniform link weights, 100
+// runs per density point, one random connected (source, destination) pair
+// per run, identical topologies across protocols, and the four reported
+// quantities — advertised-set size (Figs. 6, 7) and bandwidth/delay overhead
+// against the centralized optimum (Figs. 8, 9).
+package eval
+
+import (
+	"qolsr/internal/core"
+	"qolsr/internal/mpr"
+	"qolsr/internal/route"
+)
+
+// ProtocolSpec binds an advertised-set selector to the routing policy the
+// corresponding protocol uses over the advertised topology.
+type ProtocolSpec struct {
+	// Name labels the table column.
+	Name string
+	// Selector computes each node's advertised set.
+	Selector core.Selector
+	// Policy is how the protocol routes over what is advertised.
+	Policy route.Policy
+	// LocalLinks additionally lets the source use its own (possibly
+	// unadvertised) links for the first hop — ablation A2.
+	LocalLinks bool
+}
+
+// PaperProtocols returns the paper's three curves:
+//
+//   - "qolsr": the original QOLSR — the MPR-2 set is both flooded and
+//     routed on, with minimum-hop routing and QoS tie-breaks (the paper,
+//     Sec. II: QOLSR "does not allow to choose a path longer than two hops
+//     in order to maintain shortest paths in terms of number of hops";
+//     Fig. 1 shows exactly this hop-limited behaviour);
+//   - "topofilter": the RNG topology-filtering QANS of [7], QoS-optimal
+//     routing over the advertised topology;
+//   - "fnbp": the paper's selection, same routing.
+func PaperProtocols() []ProtocolSpec {
+	return []ProtocolSpec{
+		{Name: "qolsr", Selector: core.QOLSRAdapter{Heuristic: mpr.QOLSR2}, Policy: route.MinHopThenQoS},
+		{Name: "topofilter", Selector: core.TopologyFilter{}, Policy: route.QoSOptimal},
+		{Name: "fnbp", Selector: core.FNBP{}, Policy: route.QoSOptimal},
+	}
+}
+
+// RoutingPolicyAblation contrasts the two defensible readings of QOLSR's
+// routing over its advertised topology (ablation A6): hop-limited routing
+// (the paper's description, large overheads) against QoS-optimal routing
+// (overheads closer to the magnitudes Fig. 8 reports).
+func RoutingPolicyAblation() []ProtocolSpec {
+	return []ProtocolSpec{
+		{Name: "qolsr-minhop", Selector: core.QOLSRAdapter{Heuristic: mpr.QOLSR2}, Policy: route.MinHopThenQoS},
+		{Name: "qolsr-qosopt", Selector: core.QOLSRAdapter{Heuristic: mpr.QOLSR2}, Policy: route.QoSOptimal},
+		{Name: "fnbp", Selector: core.FNBP{}, Policy: route.QoSOptimal},
+	}
+}
+
+// LoopFixAblation compares the paper's loop-fix variants (ablation A1).
+func LoopFixAblation() []ProtocolSpec {
+	return []ProtocolSpec{
+		{Name: "fnbp", Selector: core.FNBP{}, Policy: route.QoSOptimal},
+		{Name: "fnbp-adjfix", Selector: core.FNBP{LoopFix: core.LoopFixAdjacent}, Policy: route.QoSOptimal},
+		{Name: "fnbp-nofix", Selector: core.FNBP{LoopFix: core.LoopFixOff}, Policy: route.QoSOptimal},
+	}
+}
+
+// LocalLinksAblation measures how much adding the source's own links to the
+// usable topology changes the overhead (ablation A2).
+func LocalLinksAblation() []ProtocolSpec {
+	return []ProtocolSpec{
+		{Name: "fnbp", Selector: core.FNBP{}, Policy: route.QoSOptimal},
+		{Name: "fnbp+local", Selector: core.FNBP{}, Policy: route.QoSOptimal, LocalLinks: true},
+		{Name: "qolsr", Selector: core.QOLSRAdapter{Heuristic: mpr.QOLSR2}, Policy: route.MinHopThenQoS},
+		{Name: "qolsr+local", Selector: core.QOLSRAdapter{Heuristic: mpr.QOLSR2}, Policy: route.MinHopThenQoS, LocalLinks: true},
+	}
+}
+
+// UpperBoundProtocols adds the full link-state selector, which bounds what
+// any advertised-set scheme can achieve.
+func UpperBoundProtocols() []ProtocolSpec {
+	return append(PaperProtocols(),
+		ProtocolSpec{Name: "full", Selector: core.FullAdvertise{}, Policy: route.QoSOptimal})
+}
+
+// MPRHeuristicAblation compares the three MPR heuristics used as advertised
+// sets (the paper's Sec. II discussion of MPR-1 vs MPR-2).
+func MPRHeuristicAblation() []ProtocolSpec {
+	return []ProtocolSpec{
+		{Name: "olsr-greedy", Selector: core.QOLSRAdapter{Heuristic: mpr.Greedy}, Policy: route.MinHopThenQoS},
+		{Name: "qolsr-mpr1", Selector: core.QOLSRAdapter{Heuristic: mpr.QOLSR1}, Policy: route.MinHopThenQoS},
+		{Name: "qolsr-mpr2", Selector: core.QOLSRAdapter{Heuristic: mpr.QOLSR2}, Policy: route.MinHopThenQoS},
+	}
+}

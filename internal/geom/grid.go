@@ -1,0 +1,91 @@
+package geom
+
+import "fmt"
+
+// Grid is a spatial hash over a field: points are bucketed into square cells
+// of side equal to the query radius, so a radius query inspects at most the
+// 3×3 cell block around the query point. It makes unit-disk graph extraction
+// O(n · expected neighbors) instead of O(n²).
+type Grid struct {
+	cellSize float64
+	cols     int
+	rows     int
+	points   []Point
+	cells    map[int][]int32 // cell index -> point indices
+}
+
+// NewGrid indexes points over field with the given cell size (normally the
+// communication radius). The points slice is retained; callers must not
+// mutate it afterwards.
+func NewGrid(field Field, cellSize float64, points []Point) (*Grid, error) {
+	if err := field.Validate(); err != nil {
+		return nil, err
+	}
+	if !(cellSize > 0) {
+		return nil, fmt.Errorf("geom: cell size %g must be positive", cellSize)
+	}
+	g := &Grid{
+		cellSize: cellSize,
+		cols:     int(field.Width/cellSize) + 1,
+		rows:     int(field.Height/cellSize) + 1,
+		points:   points,
+		cells:    make(map[int][]int32, len(points)),
+	}
+	for i, p := range points {
+		if !field.Contains(p) {
+			return nil, fmt.Errorf("geom: point %d at %v outside field %gx%g", i, p, field.Width, field.Height)
+		}
+		c := g.cellOf(p)
+		g.cells[c] = append(g.cells[c], int32(i))
+	}
+	return g, nil
+}
+
+func (g *Grid) cellOf(p Point) int {
+	cx := int(p.X / g.cellSize)
+	cy := int(p.Y / g.cellSize)
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.points) }
+
+// Point returns the indexed point i.
+func (g *Grid) Point(i int) Point { return g.points[i] }
+
+// Within appends to dst the indices of all points within radius of
+// g.Point(i), excluding i itself, and returns the extended slice. Radius must
+// not exceed the grid cell size.
+func (g *Grid) Within(i int, radius float64, dst []int32) []int32 {
+	p := g.points[i]
+	r2 := radius * radius
+	cx := int(p.X / g.cellSize)
+	cy := int(p.Y / g.cellSize)
+	for dy := -1; dy <= 1; dy++ {
+		y := cy + dy
+		if y < 0 || y >= g.rows {
+			continue
+		}
+		for dx := -1; dx <= 1; dx++ {
+			x := cx + dx
+			if x < 0 || x >= g.cols {
+				continue
+			}
+			for _, j := range g.cells[y*g.cols+x] {
+				if int(j) == i {
+					continue
+				}
+				if p.Dist2(g.points[j]) <= r2 {
+					dst = append(dst, j)
+				}
+			}
+		}
+	}
+	return dst
+}

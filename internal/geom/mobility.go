@@ -1,0 +1,141 @@
+package geom
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Waypoint is the classic random-waypoint mobility model: each node picks a
+// uniform destination in the field, travels toward it at a uniform speed
+// from [MinSpeed, MaxSpeed], pauses, and repeats. OLSR's soft-state design
+// exists for exactly this regime; the mobility extension lets the
+// reproduction exercise it.
+type Waypoint struct {
+	Field Field
+	// MinSpeed and MaxSpeed bound the leg speed in field units per
+	// second.
+	MinSpeed, MaxSpeed float64
+	// Pause is the dwell time at each waypoint.
+	Pause time.Duration
+}
+
+// Validate checks the model parameters.
+func (wp Waypoint) Validate() error {
+	if err := wp.Field.Validate(); err != nil {
+		return err
+	}
+	if !(wp.MinSpeed > 0) || wp.MaxSpeed < wp.MinSpeed {
+		return fmt.Errorf("geom: speed range [%g,%g] invalid", wp.MinSpeed, wp.MaxSpeed)
+	}
+	if wp.Pause < 0 {
+		return fmt.Errorf("geom: negative pause %v", wp.Pause)
+	}
+	return nil
+}
+
+type mobileState struct {
+	pos        Point
+	dest       Point
+	speed      float64 // units per second
+	pausedTill time.Duration
+}
+
+// Mobility advances a population of nodes under a waypoint model in virtual
+// time.
+type Mobility struct {
+	model Waypoint
+	now   time.Duration
+	nodes []mobileState
+	rng   *rand.Rand
+}
+
+// NewMobility starts every node at its initial position with a fresh leg.
+func NewMobility(model Waypoint, initial []Point, rng *rand.Rand) (*Mobility, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Mobility{model: model, rng: rng, nodes: make([]mobileState, len(initial))}
+	for i, p := range initial {
+		if !model.Field.Contains(p) {
+			return nil, fmt.Errorf("geom: initial position %v outside field", p)
+		}
+		m.nodes[i] = mobileState{pos: p}
+		m.newLeg(i)
+	}
+	return m, nil
+}
+
+func (m *Mobility) newLeg(i int) {
+	n := &m.nodes[i]
+	n.dest = Point{
+		X: m.rng.Float64() * m.model.Field.Width,
+		Y: m.rng.Float64() * m.model.Field.Height,
+	}
+	n.speed = m.model.MinSpeed + m.rng.Float64()*(m.model.MaxSpeed-m.model.MinSpeed)
+}
+
+// AdvanceTo moves every node from the current virtual time to t.
+func (m *Mobility) AdvanceTo(t time.Duration) {
+	if t <= m.now {
+		return
+	}
+	for i := range m.nodes {
+		m.advanceNode(i, t)
+	}
+	m.now = t
+}
+
+func (m *Mobility) advanceNode(i int, until time.Duration) {
+	n := &m.nodes[i]
+	now := m.now
+	for now < until {
+		if n.pausedTill > now {
+			// Dwelling at a waypoint.
+			if n.pausedTill >= until {
+				return
+			}
+			now = n.pausedTill
+			m.newLeg(i)
+			continue
+		}
+		remaining := n.pos.Dist(n.dest)
+		if remaining == 0 {
+			n.pausedTill = now + m.model.Pause
+			if m.model.Pause == 0 {
+				m.newLeg(i)
+			}
+			continue
+		}
+		budget := (until - now).Seconds() * n.speed
+		if budget >= remaining {
+			// Reach the waypoint within this step.
+			travel := time.Duration(remaining / n.speed * float64(time.Second))
+			n.pos = n.dest
+			now += travel
+			n.pausedTill = now + m.model.Pause
+			if m.model.Pause == 0 {
+				m.newLeg(i)
+			}
+			continue
+		}
+		frac := budget / remaining
+		n.pos = Point{
+			X: n.pos.X + (n.dest.X-n.pos.X)*frac,
+			Y: n.pos.Y + (n.dest.Y-n.pos.Y)*frac,
+		}
+		return
+	}
+}
+
+// Positions returns the current node positions (freshly allocated).
+func (m *Mobility) Positions() []Point {
+	out := make([]Point, len(m.nodes))
+	for i, n := range m.nodes {
+		out[i] = n.pos
+	}
+	return out
+}
+
+// Now returns the model's current virtual time.
+func (m *Mobility) Now() time.Duration { return m.now }

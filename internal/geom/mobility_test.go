@@ -1,0 +1,133 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func testModel() Waypoint {
+	return Waypoint{
+		Field:    Field{Width: 200, Height: 200},
+		MinSpeed: 5,
+		MaxSpeed: 15,
+		Pause:    time.Second,
+	}
+}
+
+func TestWaypointValidate(t *testing.T) {
+	if err := testModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Waypoint{
+		{Field: Field{}, MinSpeed: 1, MaxSpeed: 2},
+		{Field: Field{100, 100}, MinSpeed: 0, MaxSpeed: 2},
+		{Field: Field{100, 100}, MinSpeed: 3, MaxSpeed: 2},
+		{Field: Field{100, 100}, MinSpeed: 1, MaxSpeed: 2, Pause: -time.Second},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestNewMobilityValidatesPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewMobility(testModel(), []Point{{500, 0}}, rng); err == nil {
+		t.Error("out-of-field start accepted")
+	}
+}
+
+func TestMobilityStaysInFieldAndMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	model := testModel()
+	initial := make([]Point, 20)
+	for i := range initial {
+		initial[i] = Point{rng.Float64() * model.Field.Width, rng.Float64() * model.Field.Height}
+	}
+	m, err := NewMobility(model, initial, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := m.Positions()
+	moved := false
+	for step := 1; step <= 60; step++ {
+		m.AdvanceTo(time.Duration(step) * time.Second)
+		cur := m.Positions()
+		for i, p := range cur {
+			if !model.Field.Contains(p) {
+				t.Fatalf("node %d left the field: %v", i, p)
+			}
+			if p != prev[i] {
+				moved = true
+			}
+		}
+		prev = cur
+	}
+	if !moved {
+		t.Error("no node ever moved")
+	}
+	if m.Now() != 60*time.Second {
+		t.Errorf("Now = %v", m.Now())
+	}
+}
+
+// Speed sanity: over one second, displacement must not exceed MaxSpeed (no
+// teleporting), and over a long window the population must travel.
+func TestMobilitySpeedBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	model := testModel()
+	model.Pause = 0
+	initial := []Point{{100, 100}, {50, 50}, {150, 150}}
+	m, err := NewMobility(model, initial, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := m.Positions()
+	for step := 1; step <= 120; step++ {
+		m.AdvanceTo(time.Duration(step) * time.Second)
+		cur := m.Positions()
+		for i := range cur {
+			d := cur[i].Dist(prev[i])
+			if d > model.MaxSpeed+1e-9 {
+				t.Fatalf("node %d moved %.2f in 1s, max speed %.2f", i, d, model.MaxSpeed)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestMobilityAdvanceBackwardsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, err := NewMobility(testModel(), []Point{{10, 10}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AdvanceTo(10 * time.Second)
+	before := m.Positions()[0]
+	m.AdvanceTo(5 * time.Second) // past time: no-op
+	if m.Positions()[0] != before || m.Now() != 10*time.Second {
+		t.Error("backward advance changed state")
+	}
+}
+
+func TestMobilityPauses(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	model := testModel()
+	model.MinSpeed, model.MaxSpeed = 1000, 1000 // reach waypoints instantly
+	model.Pause = 10 * time.Second
+	m, err := NewMobility(model, []Point{{100, 100}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the first leg completes the node must dwell: two samples
+	// close together during the pause window must match.
+	m.AdvanceTo(time.Second)
+	p1 := m.Positions()[0]
+	m.AdvanceTo(time.Second + 500*time.Millisecond)
+	p2 := m.Positions()[0]
+	if p1 != p2 {
+		t.Error("node moved during pause")
+	}
+}

@@ -1,0 +1,114 @@
+package graph
+
+import "qolsr/internal/metric"
+
+// The brute-force oracles in this file enumerate simple paths explicitly.
+// They are exponential and intended for the test suite and for very small
+// worked examples only.
+
+// EnumerateSimplePaths calls fn with every simple path from src to dst in g
+// whose edges all satisfy allowEdge (nil allows everything) and whose length
+// does not exceed maxLen edges (0 means unlimited). The path slice passed to
+// fn is reused; callers must copy it to retain it. fn returning false stops
+// the enumeration early.
+func EnumerateSimplePaths(g *Graph, src, dst int32, maxLen int, allowEdge func(e int32) bool, fn func(path []int32) bool) {
+	onPath := make([]bool, g.N())
+	path := []int32{src}
+	onPath[src] = true
+	var dfs func() bool
+	dfs = func() bool {
+		x := path[len(path)-1]
+		if x == dst {
+			return fn(path)
+		}
+		if maxLen > 0 && len(path)-1 >= maxLen {
+			return true
+		}
+		for _, arc := range g.Arcs(x) {
+			if onPath[arc.To] {
+				continue
+			}
+			if allowEdge != nil && !allowEdge(arc.Edge) {
+				continue
+			}
+			path = append(path, arc.To)
+			onPath[arc.To] = true
+			ok := dfs()
+			onPath[arc.To] = false
+			path = path[:len(path)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	dfs()
+}
+
+// PathValue folds the metric over the consecutive links of path (node
+// indices); it panics if a link is missing, since brute-force callers always
+// pass real paths.
+func PathValue(g *Graph, m metric.Metric, w []float64, path []int32) float64 {
+	v := m.Identity()
+	for i := 0; i+1 < len(path); i++ {
+		e, ok := g.EdgeBetween(path[i], path[i+1])
+		if !ok {
+			panic("graph: PathValue called with a non-path")
+		}
+		v = m.Combine(v, w[e])
+	}
+	return v
+}
+
+// BruteBestValue returns the optimal value over all simple paths from src to
+// dst (restricted to view edges when view is non-nil, excluding the node
+// exclude when >= 0), and whether any path exists.
+func BruteBestValue(g *Graph, m metric.Metric, w []float64, src, dst int32, view *LocalView, exclude int32) (float64, bool) {
+	best := m.Worst()
+	found := false
+	if exclude >= 0 && (src == exclude || dst == exclude) {
+		return best, false
+	}
+	allow := func(e int32) bool {
+		a, b := g.EdgeEndpoints(int(e))
+		if exclude >= 0 && (a == exclude || b == exclude) {
+			return false
+		}
+		if view != nil && !view.HasViewEdge(a, b) {
+			return false
+		}
+		return true
+	}
+	EnumerateSimplePaths(g, src, dst, 0, allow, func(path []int32) bool {
+		v := PathValue(g, m, w, path)
+		if !found || m.Better(v, best) {
+			best = v
+			found = true
+		}
+		return true
+	})
+	return best, found
+}
+
+// BruteFirstHops returns fP(u,v) per the definition: the set of neighbors w
+// of view.U such that some optimal simple path from U to v inside G_u starts
+// with the link (U,w). The result maps global node index -> membership.
+func BruteFirstHops(view *LocalView, m metric.Metric, w []float64, v int32) map[int32]bool {
+	g := view.G
+	best, found := BruteBestValue(g, m, w, view.U, v, view, -1)
+	out := make(map[int32]bool)
+	if !found {
+		return out
+	}
+	allow := func(e int32) bool {
+		a, b := g.EdgeEndpoints(int(e))
+		return view.HasViewEdge(a, b)
+	}
+	EnumerateSimplePaths(g, view.U, v, 0, allow, func(path []int32) bool {
+		if PathValue(g, m, w, path) == best && len(path) > 1 {
+			out[path[1]] = true
+		}
+		return true
+	})
+	return out
+}

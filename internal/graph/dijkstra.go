@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"qolsr/internal/metric"
+)
+
+// ShortestPaths is the result of a Dijkstra search: optimal path values from
+// one source under one metric, with a single optimal predecessor per node for
+// path extraction.
+type ShortestPaths struct {
+	// Source is the search origin.
+	Source int32
+	// Dist maps each node to its optimal path value from Source, or
+	// metric.Worst() when unreachable (or outside the searched view).
+	Dist []float64
+	// Reached lists reached nodes in pop order (Source first). For
+	// additive metrics with positive weights the order is nondecreasing
+	// in path value.
+	Reached []int32
+
+	prev []int32
+}
+
+// PathTo returns one optimal path from the source to t as node indices
+// (source first), or nil if t was not reached.
+func (sp *ShortestPaths) PathTo(t int32) []int32 {
+	if sp.prev[t] == -2 {
+		return nil
+	}
+	var rev []int32
+	for x := t; x != -1; x = sp.prev[x] {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Reachable reports whether t was reached by the search.
+func (sp *ShortestPaths) Reachable(t int32) bool { return sp.prev[t] != -2 }
+
+// heapItem is one pending entry of the search frontier (lazy deletion).
+type heapItem struct {
+	value float64
+	node  int32
+}
+
+// Dijkstra computes optimal path values from src in g under metric m with
+// per-edge weights w (indexed by edge index, typically g.Weights(channel)).
+//
+// When view is non-nil the search is confined to the local view G_view: only
+// edges of E_view are relaxed, so the result equals a search in the subgraph
+// the paper calls G_u. When exclude >= 0 that node is treated as absent,
+// which is how the first-hop oracle evaluates paths that must not revisit u.
+//
+// The metric's Combine must never improve a path (guaranteed by both
+// additive metrics with positive weights and concave bottleneck metrics),
+// which is the standard Dijkstra admissibility condition.
+func Dijkstra(g *Graph, m metric.Metric, w []float64, src int32, view *LocalView, exclude int32) *ShortestPaths {
+	n := g.N()
+	sp := &ShortestPaths{
+		Source: src,
+		Dist:   make([]float64, n),
+		prev:   make([]int32, n),
+	}
+	worst := m.Worst()
+	for i := range sp.Dist {
+		sp.Dist[i] = worst
+		sp.prev[i] = -2
+	}
+	if src == exclude || (view != nil && !view.InView(src)) {
+		return sp
+	}
+	sp.Dist[src] = m.Identity()
+	sp.prev[src] = -1
+
+	done := make([]bool, n)
+	heap := make([]heapItem, 0, 64)
+	heap = pushHeap(heap, m, heapItem{value: sp.Dist[src], node: src})
+	for len(heap) > 0 {
+		var top heapItem
+		top, heap = popHeap(heap, m)
+		x := top.node
+		if done[x] {
+			continue
+		}
+		done[x] = true
+		sp.Reached = append(sp.Reached, x)
+		for _, arc := range g.Arcs(x) {
+			y := arc.To
+			if y == exclude || done[y] {
+				continue
+			}
+			if view != nil && !view.HasViewEdge(x, y) {
+				continue
+			}
+			v := m.Combine(sp.Dist[x], w[arc.Edge])
+			if sp.prev[y] == -2 || m.Better(v, sp.Dist[y]) {
+				sp.Dist[y] = v
+				sp.prev[y] = x
+				heap = pushHeap(heap, m, heapItem{value: v, node: y})
+			}
+		}
+	}
+	return sp
+}
+
+// pushHeap inserts it into the binary heap ordered so that the best value
+// (under m.Better) sits at index 0.
+func pushHeap(h []heapItem, m metric.Metric, it heapItem) []heapItem {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.Better(h[i].value, h[parent].value) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+// popHeap removes and returns the best entry.
+func popHeap(h []heapItem, m metric.Metric) (heapItem, []heapItem) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h) && m.Better(h[l].value, h[best].value) {
+			best = l
+		}
+		if r < len(h) && m.Better(h[r].value, h[best].value) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top, h
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DOTOptions controls WriteDOT rendering.
+type DOTOptions struct {
+	// Name is the graph name in the DOT header.
+	Name string
+	// WeightChannel, when set, renders edge weights from that channel as
+	// edge labels.
+	WeightChannel string
+	// HighlightNodes are drawn filled (e.g. a node's ANS selection).
+	HighlightNodes map[int32]bool
+	// HighlightEdges are drawn bold (e.g. advertised links).
+	HighlightEdges map[int32]bool
+	// DimEdges are drawn dashed (e.g. links removed by topology
+	// filtering).
+	DimEdges map[int32]bool
+}
+
+// WriteDOT renders g as an undirected Graphviz graph, used by cmd/qolsr-graph
+// to reproduce the style of the paper's Fig. 5.
+func WriteDOT(w io.Writer, g *Graph, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n  node [shape=circle];\n", name); err != nil {
+		return err
+	}
+	var weights []float64
+	if opts.WeightChannel != "" {
+		ws, err := g.Weights(opts.WeightChannel)
+		if err != nil {
+			return err
+		}
+		weights = ws
+	}
+	for x := int32(0); int(x) < g.N(); x++ {
+		attrs := ""
+		if opts.HighlightNodes[x] {
+			attrs = " [style=filled, fillcolor=lightblue]"
+		}
+		if _, err := fmt.Fprintf(w, "  %q%s;\n", g.Label(x), attrs); err != nil {
+			return err
+		}
+	}
+	type edgeRow struct {
+		e    int32
+		a, b int32
+	}
+	rows := make([]edgeRow, 0, g.M())
+	for e := 0; e < g.M(); e++ {
+		a, b := g.EdgeEndpoints(e)
+		rows = append(rows, edgeRow{e: int32(e), a: a, b: b})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].e < rows[j].e })
+	for _, r := range rows {
+		var attrs []string
+		if weights != nil {
+			attrs = append(attrs, fmt.Sprintf("label=%q", trimFloat(weights[r.e])))
+		}
+		if opts.HighlightEdges[r.e] {
+			attrs = append(attrs, "style=bold", "penwidth=2")
+		}
+		if opts.DimEdges[r.e] {
+			attrs = append(attrs, "style=dashed")
+		}
+		suffix := ""
+		if len(attrs) > 0 {
+			suffix = " [" + join(attrs, ", ") + "]"
+		}
+		if _, err := fmt.Fprintf(w, "  %q -- %q%s;\n", g.Label(r.a), g.Label(r.b), suffix); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func join(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}

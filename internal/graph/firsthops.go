@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"qolsr/internal/metric"
+)
+
+// FirstHops holds, for one local view centered at u, the optimal path value
+// B̃W(u,v) / D̃(u,v) toward every node of the view and the first-hop sets
+// fP(u,v): the 1-hop neighbors that start at least one optimal simple path
+// from u to v inside G_u (paper Sec. III-A).
+//
+// Sets are bitsets over N1 positions (LocalView.N1Index). By the paper's
+// observation, v ∈ fP(u,v) exactly when the direct link (u,v) is itself
+// optimal.
+type FirstHops struct {
+	View *LocalView
+	// Dist maps each global node to its optimal path value from the
+	// center within G_u (metric.Worst() outside the view or unreached).
+	Dist []float64
+	// DirectWeight maps each N1 position to the weight of the direct link
+	// from the center, used by the ≺ ordering.
+	DirectWeight []float64
+
+	blocks int
+	sets   [][]uint64 // indexed by global node; nil when empty/unreached
+}
+
+// Contains reports whether the 1-hop neighbor at N1 position i belongs to
+// fP(u, v).
+func (fh *FirstHops) Contains(v int32, i int32) bool {
+	s := fh.sets[v]
+	if s == nil {
+		return false
+	}
+	return s[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Count returns |fP(u,v)|.
+func (fh *FirstHops) Count(v int32) int {
+	total := 0
+	for _, b := range fh.sets[v] {
+		total += popcount(b)
+	}
+	return total
+}
+
+// ForEach invokes fn with every N1 position in fP(u,v), in ascending
+// position order (which is ascending NodeID order since N1 is ID-sorted).
+func (fh *FirstHops) ForEach(v int32, fn func(i int32)) {
+	for blk, b := range fh.sets[v] {
+		for b != 0 {
+			bit := trailingZeros(b)
+			fn(int32(blk*64 + bit))
+			b &= b - 1
+		}
+	}
+}
+
+// Members returns fP(u,v) as global node indices in ascending ID order.
+func (fh *FirstHops) Members(v int32) []int32 {
+	var out []int32
+	fh.ForEach(v, func(i int32) {
+		out = append(out, fh.View.N1[i])
+	})
+	return out
+}
+
+func popcount(b uint64) int { return bits.OnesCount64(b) }
+
+func trailingZeros(b uint64) int { return bits.TrailingZeros64(b) }
+
+func (fh *FirstHops) setBit(v int32, i int32) {
+	if fh.sets[v] == nil {
+		fh.sets[v] = make([]uint64, fh.blocks)
+	}
+	fh.sets[v][i/64] |= 1 << (uint(i) % 64)
+}
+
+func (fh *FirstHops) orInto(v int32, src []uint64) {
+	if src == nil {
+		return
+	}
+	if fh.sets[v] == nil {
+		fh.sets[v] = make([]uint64, fh.blocks)
+	}
+	dst := fh.sets[v]
+	for i := range src {
+		dst[i] |= src[i]
+	}
+}
+
+func newFirstHops(view *LocalView, m metric.Metric, w []float64) *FirstHops {
+	fh := &FirstHops{
+		View:         view,
+		DirectWeight: make([]float64, len(view.N1)),
+		blocks:       (len(view.N1) + 63) / 64,
+		sets:         make([][]uint64, view.G.N()),
+	}
+	for i, n := range view.N1 {
+		e, ok := view.G.EdgeBetween(view.U, n)
+		if !ok {
+			panic(fmt.Sprintf("graph: N1 node %d without edge to center %d", n, view.U))
+		}
+		fh.DirectWeight[i] = w[e]
+	}
+	return fh
+}
+
+// ComputeFirstHops computes optimal values and first-hop sets for the view
+// under m, dispatching to the additive or concave fast path.
+func ComputeFirstHops(view *LocalView, m metric.Metric, w []float64) (*FirstHops, error) {
+	switch m.Kind() {
+	case metric.Additive:
+		return firstHopsAdditive(view, m, w), nil
+	case metric.Concave:
+		return firstHopsConcave(view, m, w), nil
+	default:
+		return nil, fmt.Errorf("graph: unsupported metric kind %v", m.Kind())
+	}
+}
+
+// firstHopsAdditive runs one Dijkstra from the center and back-propagates
+// first-hop bitsets along the shortest-path predecessor DAG. For strictly
+// positive additive weights the pop order is strictly increasing along every
+// optimal path, so processing nodes in pop order sees all predecessors
+// finalised.
+func firstHopsAdditive(view *LocalView, m metric.Metric, w []float64) *FirstHops {
+	g := view.G
+	fh := newFirstHops(view, m, w)
+	sp := Dijkstra(g, m, w, view.U, view, -1)
+	fh.Dist = sp.Dist
+	for _, x := range sp.Reached {
+		if x == view.U {
+			continue
+		}
+		for _, arc := range g.Arcs(x) {
+			y := arc.To
+			if !view.HasViewEdge(y, x) || !sp.Reachable(y) {
+				continue
+			}
+			if m.Combine(sp.Dist[y], w[arc.Edge]) != sp.Dist[x] {
+				continue
+			}
+			if y == view.U {
+				// Optimal path arrives directly from u: x itself is the
+				// first hop (x is necessarily a 1-hop neighbor).
+				fh.setBit(x, view.N1Index(x))
+			} else {
+				fh.orInto(x, fh.sets[y])
+			}
+		}
+	}
+	return fh
+}
+
+// concaveEdge is one E_u edge not incident to the center, a candidate for
+// the descending-threshold sweep.
+type concaveEdge struct {
+	w    float64
+	a, b int32
+}
+
+// firstHopsConcave runs one bottleneck Dijkstra from the center, then sweeps
+// thresholds downward with a union-find over G_u − u:
+//
+//	w ∈ fP(u,v)  ⇔  weight(u,w) ⪰ t*  ∧  w ~ v in (G_u − u) restricted to
+//	                edges ⪰ t*, where t* = B̃W(u,v)
+//
+// (with w == v connected trivially, recovering "direct link optimal"). This
+// is exact for any concave metric because optimal walks shortcut to optimal
+// simple paths, and simple paths starting u→w never revisit u.
+func firstHopsConcave(view *LocalView, m metric.Metric, w []float64) *FirstHops {
+	g := view.G
+	fh := newFirstHops(view, m, w)
+	sp := Dijkstra(g, m, w, view.U, view, -1)
+	fh.Dist = sp.Dist
+
+	// Collect E_u edges avoiding the center.
+	var edges []concaveEdge
+	scratch := view.ViewEdges(nil)
+	for _, e := range scratch {
+		a, b := g.EdgeEndpoints(int(e))
+		if a == view.U || b == view.U {
+			continue
+		}
+		edges = append(edges, concaveEdge{w: w[e], a: a, b: b})
+	}
+	sort.Slice(edges, func(i, j int) bool { return m.Better(edges[i].w, edges[j].w) })
+
+	// Order targets by descending (better-first) optimal value.
+	targets := view.Targets()
+	sort.SliceStable(targets, func(i, j int) bool {
+		return m.Better(sp.Dist[targets[i]], sp.Dist[targets[j]])
+	})
+
+	uf := NewUnionFind(g.N())
+	next := 0
+	for _, v := range targets {
+		if !sp.Reachable(v) {
+			continue
+		}
+		t := sp.Dist[v]
+		for next < len(edges) && metric.BetterEq(m, edges[next].w, t) {
+			uf.Union(edges[next].a, edges[next].b)
+			next++
+		}
+		for i, hop := range view.N1 {
+			if !metric.BetterEq(m, fh.DirectWeight[i], t) {
+				continue
+			}
+			if hop == v || uf.Connected(hop, v) {
+				fh.setBit(v, int32(i))
+			}
+		}
+	}
+	return fh
+}
+
+// FirstHopsReference computes the same result as ComputeFirstHops directly
+// from the definition: for every 1-hop neighbor w it searches G_u − u from w
+// and tests combine(weight(u,w), dist_{G_u−u}(w,v)) == dist_{G_u}(u,v). It
+// works for any metric and serves as the correctness oracle in tests; the
+// fast paths are asymptotically cheaper (one search instead of |N(u)|).
+func FirstHopsReference(view *LocalView, m metric.Metric, w []float64) *FirstHops {
+	g := view.G
+	fh := newFirstHops(view, m, w)
+	sp := Dijkstra(g, m, w, view.U, view, -1)
+	fh.Dist = sp.Dist
+	for i, hop := range view.N1 {
+		sub := Dijkstra(g, m, w, hop, view, view.U)
+		for _, v := range view.Targets() {
+			if !sp.Reachable(v) || !sub.Reachable(v) {
+				continue
+			}
+			if m.Combine(fh.DirectWeight[i], sub.Dist[v]) == sp.Dist[v] {
+				fh.setBit(v, int32(i))
+			}
+		}
+	}
+	return fh
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"qolsr/internal/metric"
+)
+
+// wideStar builds a hub with n direct neighbors (n > 64 exercises the
+// multi-block bitsets) plus one 2-hop target behind every neighbor.
+func wideStar(t *testing.T, n int, rng *rand.Rand) *Graph {
+	t.Helper()
+	g := New(1 + 2*n)
+	for i := 1; i <= n; i++ {
+		e := g.MustAddEdge(0, int32(i))
+		if err := g.SetWeight("bandwidth", e, float64(1+rng.Intn(12))); err != nil {
+			t.Fatal(err)
+		}
+		e = g.MustAddEdge(int32(i), int32(n+i))
+		if err := g.SetWeight("bandwidth", e, float64(1+rng.Intn(12))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A few cross links among neighbors so indirect optimal paths exist.
+	for i := 1; i < n; i += 3 {
+		if _, ok := g.EdgeBetween(int32(i), int32(i+1)); !ok {
+			e := g.MustAddEdge(int32(i), int32(i+1))
+			if err := g.SetWeight("bandwidth", e, float64(1+rng.Intn(12))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+// With more than 64 one-hop neighbors the first-hop bitsets span multiple
+// 64-bit blocks; the fast paths must agree with the reference there too.
+func TestFirstHopsMultiBlockBitsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const n = 90
+	g := wideStar(t, n, rng)
+	lv := NewLocalView(g, 0)
+	if len(lv.N1) != n {
+		t.Fatalf("N1 = %d, want %d", len(lv.N1), n)
+	}
+	m := metric.Bandwidth()
+	w := metricWeights(g, m)
+	fast, err := ComputeFirstHops(lv, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := FirstHopsReference(lv, m, w)
+	for _, v := range lv.Targets() {
+		for i := int32(0); int(i) < len(lv.N1); i++ {
+			if fast.Contains(v, i) != ref.Contains(v, i) {
+				t.Fatalf("target %d hop pos %d: fast=%v ref=%v",
+					v, i, fast.Contains(v, i), ref.Contains(v, i))
+			}
+		}
+		if fast.Count(v) != ref.Count(v) {
+			t.Fatalf("target %d: Count fast=%d ref=%d", v, fast.Count(v), ref.Count(v))
+		}
+	}
+	// ForEach must emit ascending positions and cover high blocks.
+	sawHigh := false
+	for _, v := range lv.Targets() {
+		last := int32(-1)
+		fast.ForEach(v, func(i int32) {
+			if i <= last {
+				t.Fatalf("ForEach order violated: %d after %d", i, last)
+			}
+			last = i
+			if i >= 64 {
+				sawHigh = true
+			}
+		})
+	}
+	if !sawHigh {
+		t.Error("no first hop beyond position 64; test lost its point")
+	}
+}
+
+// FNBP-style consumers use Members; verify it matches ForEach on wide views.
+func TestFirstHopsMembersWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	g := wideStar(t, 70, rng)
+	lv := NewLocalView(g, 0)
+	m := metric.Bandwidth()
+	w := metricWeights(g, m)
+	fh, err := ComputeFirstHops(lv, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range lv.Targets() {
+		members := fh.Members(v)
+		if len(members) != fh.Count(v) {
+			t.Fatalf("target %d: |Members| %d != Count %d", v, len(members), fh.Count(v))
+		}
+		for _, x := range members {
+			if !fh.Contains(v, lv.N1Index(x)) {
+				t.Fatalf("target %d: member %d not Contained", v, x)
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"fmt"
+
+	"qolsr/internal/metric"
+)
+
+// GenericSearch is the result of a semiring Dijkstra: optimal costs of
+// arbitrary comparable type, used by the multi-criterion future-work
+// extension (metric.Lexicographic) and by QOLSR's min-hop-then-QoS routing.
+type GenericSearch[C metric.Cost] struct {
+	Source  int32
+	Cost    []C
+	Reached []bool
+	prev    []int32
+}
+
+// PathTo returns one optimal path to t (source first), or nil when t was not
+// reached.
+func (gs *GenericSearch[C]) PathTo(t int32) []int32 {
+	if !gs.Reached[t] {
+		return nil
+	}
+	var rev []int32
+	for x := t; x != -1; x = gs.prev[x] {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// DijkstraGeneric computes optimal path costs from src under semiring s. Link
+// costs are derived from the graph's weight channels via s.LinkCost; every
+// channel the semiring needs must be populated for every edge. When view is
+// non-nil the search is confined to E_view; when exclude >= 0 that node is
+// treated as absent.
+func DijkstraGeneric[C metric.Cost](g *Graph, s metric.Semiring[C], src int32, view *LocalView, exclude int32) (*GenericSearch[C], error) {
+	n := g.N()
+	gs := &GenericSearch[C]{
+		Source:  src,
+		Cost:    make([]C, n),
+		Reached: make([]bool, n),
+		prev:    make([]int32, n),
+	}
+	for i := range gs.prev {
+		gs.prev[i] = -2
+		gs.Cost[i] = s.Worst()
+	}
+	if src == exclude || (view != nil && !view.InView(src)) {
+		return gs, nil
+	}
+
+	// Precompute link costs once per edge.
+	linkCost := make([]C, g.M())
+	channels := make(map[string][]float64)
+	for _, ch := range g.Channels() {
+		ws, err := g.Weights(ch)
+		if err != nil {
+			return nil, err
+		}
+		channels[ch] = ws
+	}
+	wmap := make(map[string]float64, len(channels))
+	for e := 0; e < g.M(); e++ {
+		for ch, ws := range channels {
+			wmap[ch] = ws[e]
+		}
+		c, err := s.LinkCost(wmap)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge %d: %w", e, err)
+		}
+		linkCost[e] = c
+	}
+
+	gs.Cost[src] = s.Identity()
+	gs.prev[src] = -1
+	done := make([]bool, n)
+	type item struct {
+		cost C
+		node int32
+	}
+	heap := []item{{cost: gs.Cost[src], node: src}}
+	push := func(it item) {
+		heap = append(heap, it)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !s.Better(heap[i].cost, heap[p].cost) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	pop := func() item {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r, best := 2*i+1, 2*i+2, i
+			if l < len(heap) && s.Better(heap[l].cost, heap[best].cost) {
+				best = l
+			}
+			if r < len(heap) && s.Better(heap[r].cost, heap[best].cost) {
+				best = r
+			}
+			if best == i {
+				break
+			}
+			heap[i], heap[best] = heap[best], heap[i]
+			i = best
+		}
+		return top
+	}
+
+	for len(heap) > 0 {
+		top := pop()
+		x := top.node
+		if done[x] {
+			continue
+		}
+		done[x] = true
+		gs.Reached[x] = true
+		for _, arc := range g.Arcs(x) {
+			y := arc.To
+			if y == exclude || done[y] {
+				continue
+			}
+			if view != nil && !view.HasViewEdge(x, y) {
+				continue
+			}
+			c := s.Combine(gs.Cost[x], linkCost[arc.Edge])
+			if gs.prev[y] == -2 || s.Better(c, gs.Cost[y]) {
+				gs.Cost[y] = c
+				gs.prev[y] = x
+				push(item{cost: c, node: y})
+			}
+		}
+	}
+	return gs, nil
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"qolsr/internal/metric"
+)
+
+func TestDijkstraGenericScalarMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 15; trial++ {
+		g := randomConnectedGraph(rng, 12, 0.3)
+		src := int32(rng.Intn(12))
+		for _, m := range []metric.Metric{metric.Delay(), metric.Bandwidth()} {
+			w := metricWeights(g, m)
+			plain := Dijkstra(g, m, w, src, nil, -1)
+			gen, err := DijkstraGeneric[float64](g, metric.Scalar{Metric: m}, src, nil, -1)
+			if err != nil {
+				t.Fatalf("DijkstraGeneric: %v", err)
+			}
+			for x := 0; x < g.N(); x++ {
+				if gen.Reached[x] != plain.Reachable(int32(x)) {
+					t.Fatalf("%s: reachability differs at %d", m.Name(), x)
+				}
+				if gen.Reached[x] && gen.Cost[x] != plain.Dist[x] {
+					t.Fatalf("%s: cost[%d] = %v, plain %v", m.Name(), x, gen.Cost[x], plain.Dist[x])
+				}
+			}
+		}
+	}
+}
+
+func TestDijkstraGenericMinHopThenBandwidth(t *testing.T) {
+	// QOLSR routing semantics: among minimum-hop paths pick the widest.
+	// Square 0-1-2 (wide) and 0-3-2 (narrow), both 2 hops; plus a wide
+	// 4-hop detour 0-4-5-6-2 that min-hop routing must ignore.
+	g := New(7)
+	type ew struct {
+		a, b int32
+		w    float64
+	}
+	for _, s := range []ew{
+		{0, 1, 5}, {1, 2, 5},
+		{0, 3, 2}, {3, 2, 9},
+		{0, 4, 10}, {4, 5, 10}, {5, 6, 10}, {6, 2, 10},
+	} {
+		e := g.MustAddEdge(s.a, s.b)
+		if err := g.SetWeight("bandwidth", e, s.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lex := metric.Lexicographic{
+		PrimaryMetric:   metric.Hop(),
+		SecondaryMetric: metric.Bandwidth(),
+		PrimaryWeight:   "bandwidth", // Hop ignores the value
+		SecondaryWeight: "bandwidth",
+	}
+	gs, err := DijkstraGeneric[metric.LexCost](g, lex, 0, nil, -1)
+	if err != nil {
+		t.Fatalf("DijkstraGeneric: %v", err)
+	}
+	got := gs.Cost[2]
+	if got.Primary != 2 {
+		t.Errorf("hops = %v, want 2", got.Primary)
+	}
+	if got.Secondary != 5 {
+		t.Errorf("bandwidth among min-hop = %v, want 5 (wide 2-hop path)", got.Secondary)
+	}
+	path := gs.PathTo(2)
+	if len(path) != 3 || path[1] != 1 {
+		t.Errorf("path = %v, want through node 1", path)
+	}
+}
+
+func TestDijkstraGenericLexBandwidthThenEnergy(t *testing.T) {
+	// Future-work extension: among widest paths minimise energy.
+	g := New(4)
+	type ew struct {
+		a, b   int32
+		bw, en float64
+	}
+	for _, s := range []ew{
+		{0, 1, 5, 10}, {1, 3, 5, 10}, // widest, expensive: bw 5, energy 20
+		{0, 2, 5, 2}, {2, 3, 5, 3}, // widest, cheap: bw 5, energy 5
+	} {
+		e := g.MustAddEdge(s.a, s.b)
+		if err := g.SetWeight("bandwidth", e, s.bw); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.SetWeight("energy", e, s.en); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lex := metric.Lexicographic{
+		PrimaryMetric:   metric.Bandwidth(),
+		SecondaryMetric: metric.Energy(),
+		PrimaryWeight:   "bandwidth",
+		SecondaryWeight: "energy",
+	}
+	gs, err := DijkstraGeneric[metric.LexCost](g, lex, 0, nil, -1)
+	if err != nil {
+		t.Fatalf("DijkstraGeneric: %v", err)
+	}
+	if gs.Cost[3].Primary != 5 || gs.Cost[3].Secondary != 5 {
+		t.Errorf("cost = %+v, want {5 5}", gs.Cost[3])
+	}
+	if path := gs.PathTo(3); len(path) != 3 || path[1] != 2 {
+		t.Errorf("path = %v, want through node 2", path)
+	}
+}
+
+func TestDijkstraGenericMissingChannel(t *testing.T) {
+	g := New(2)
+	e := g.MustAddEdge(0, 1)
+	if err := g.SetWeight("bandwidth", e, 1); err != nil {
+		t.Fatal(err)
+	}
+	lex := metric.Lexicographic{
+		PrimaryMetric:   metric.Bandwidth(),
+		SecondaryMetric: metric.Energy(),
+		PrimaryWeight:   "bandwidth",
+		SecondaryWeight: "energy",
+	}
+	if _, err := DijkstraGeneric[metric.LexCost](g, lex, 0, nil, -1); err == nil {
+		t.Error("missing channel accepted")
+	}
+}
+
+func TestDijkstraGenericExcludedSource(t *testing.T) {
+	g := New(2)
+	e := g.MustAddEdge(0, 1)
+	if err := g.SetWeight("delay", e, 1); err != nil {
+		t.Fatal(err)
+	}
+	gs, err := DijkstraGeneric[float64](g, metric.Scalar{Metric: metric.Delay()}, 0, nil, 0)
+	if err != nil {
+		t.Fatalf("DijkstraGeneric: %v", err)
+	}
+	if gs.Reached[0] || gs.Reached[1] {
+		t.Error("excluded source searched")
+	}
+	if gs.PathTo(1) != nil {
+		t.Error("path to unreached node")
+	}
+}

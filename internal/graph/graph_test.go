@@ -1,0 +1,255 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qolsr/internal/metric"
+)
+
+func TestNewAssignsSequentialIDs(t *testing.T) {
+	g := New(4)
+	if g.N() != 4 || g.M() != 0 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	for i := int32(0); i < 4; i++ {
+		if g.ID(i) != NodeID(i) {
+			t.Errorf("ID(%d) = %d", i, g.ID(i))
+		}
+	}
+}
+
+func TestNewWithIDsRejectsDuplicates(t *testing.T) {
+	if _, err := NewWithIDs([]NodeID{1, 2, 1}); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+	g, err := NewWithIDs([]NodeID{10, 20, 30})
+	if err != nil {
+		t.Fatalf("NewWithIDs: %v", err)
+	}
+	if g.ID(1) != 20 {
+		t.Errorf("ID(1) = %d, want 20", g.ID(1))
+	}
+	if g.IndexOf(30) != 2 {
+		t.Errorf("IndexOf(30) = %d, want 2", g.IndexOf(30))
+	}
+	if g.IndexOf(99) != -1 {
+		t.Errorf("IndexOf(99) = %d, want -1", g.IndexOf(99))
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if _, err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if _, err := g.AddEdge(-1, 1); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if _, err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate (reversed) edge accepted")
+	}
+}
+
+func TestEdgeBetweenAndEndpoints(t *testing.T) {
+	g := New(4)
+	e01 := g.MustAddEdge(0, 1)
+	e23 := g.MustAddEdge(2, 3)
+	if e, ok := g.EdgeBetween(1, 0); !ok || e != e01 {
+		t.Errorf("EdgeBetween(1,0) = %d,%v", e, ok)
+	}
+	if _, ok := g.EdgeBetween(0, 2); ok {
+		t.Error("phantom edge found")
+	}
+	a, b := g.EdgeEndpoints(e23)
+	if a != 2 || b != 3 {
+		t.Errorf("EdgeEndpoints = (%d,%d)", a, b)
+	}
+	if g.Degree(0) != 1 || g.Degree(3) != 1 {
+		t.Error("degrees wrong")
+	}
+}
+
+func TestWeightsChannelLifecycle(t *testing.T) {
+	g := New(3)
+	e0 := g.MustAddEdge(0, 1)
+	if err := g.SetWeight("bandwidth", e0, 5); err != nil {
+		t.Fatalf("SetWeight: %v", err)
+	}
+	// Channel must grow when edges are added after creation.
+	e1 := g.MustAddEdge(1, 2)
+	if err := g.SetWeight("bandwidth", e1, 7); err != nil {
+		t.Fatalf("SetWeight after growth: %v", err)
+	}
+	ws, err := g.Weights("bandwidth")
+	if err != nil {
+		t.Fatalf("Weights: %v", err)
+	}
+	if ws[e0] != 5 || ws[e1] != 7 {
+		t.Errorf("weights = %v", ws)
+	}
+	if _, err := g.Weights("nope"); err == nil {
+		t.Error("unknown channel accepted")
+	}
+	if err := g.SetWeight("bandwidth", 99, 1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if got := g.Channels(); len(got) != 1 || got[0] != "bandwidth" {
+		t.Errorf("Channels = %v", got)
+	}
+}
+
+func TestAssignUniformWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomConnectedGraph(rng, 20, 0.3)
+	iv := metric.Interval{Lo: 2, Hi: 4}
+	if err := g.AssignUniformWeights("x", iv, rng); err != nil {
+		t.Fatalf("AssignUniformWeights: %v", err)
+	}
+	ws, err := g.Weights("x")
+	if err != nil {
+		t.Fatalf("Weights: %v", err)
+	}
+	for e, w := range ws {
+		if !iv.Contains(w) {
+			t.Fatalf("edge %d weight %v outside %v", e, w, iv)
+		}
+	}
+	if err := g.AssignUniformWeights("x", metric.Interval{Lo: 0, Hi: 1}, rng); err == nil {
+		t.Error("invalid interval accepted")
+	}
+}
+
+func TestLinkWeightMap(t *testing.T) {
+	g := New(3)
+	e0 := g.MustAddEdge(0, 1)
+	e1 := g.MustAddEdge(0, 2)
+	if err := g.SetWeight("delay", e0, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetWeight("delay", e1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	m, err := g.LinkWeightMap("delay", 0)
+	if err != nil {
+		t.Fatalf("LinkWeightMap: %v", err)
+	}
+	if len(m) != 2 || m[1] != 1.5 || m[2] != 2.5 {
+		t.Errorf("map = %v", m)
+	}
+	if _, err := g.LinkWeightMap("missing", 0); err == nil {
+		t.Error("unknown channel accepted")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := New(2)
+	if g.Label(0) != "v0" {
+		t.Errorf("default label = %q", g.Label(0))
+	}
+	g.SetLabel(0, "u")
+	if g.Label(0) != "u" || g.Label(1) != "v1" {
+		t.Errorf("labels = %q %q", g.Label(0), g.Label(1))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomConnectedGraph(rng, 10, 0.4)
+	g.SetLabel(0, "origin")
+	c := g.Clone()
+	if c.N() != g.N() || c.M() != g.M() {
+		t.Fatalf("clone dims differ")
+	}
+	// Mutating the clone must not affect the original.
+	wc, _ := c.Weights("bandwidth")
+	orig, _ := g.Weights("bandwidth")
+	before := orig[0]
+	wc[0] = before + 100
+	if orig[0] != before {
+		t.Error("clone shares weight storage")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("original invalidated: %v", err)
+	}
+	if c.Label(0) != "origin" {
+		t.Error("labels not cloned")
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	g.ends[0] = [2]int32{1, 2} // corrupt endpoint table
+	if err := g.Validate(); err == nil {
+		t.Error("corrupted graph accepted")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New(3)
+	g.SetLabel(0, "u")
+	e0 := g.MustAddEdge(0, 1)
+	e1 := g.MustAddEdge(1, 2)
+	if err := g.SetWeight("bandwidth", e0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetWeight("bandwidth", e1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := WriteDOT(&sb, g, DOTOptions{
+		Name:           "fig",
+		WeightChannel:  "bandwidth",
+		HighlightNodes: map[int32]bool{1: true},
+		HighlightEdges: map[int32]bool{int32(e0): true},
+		DimEdges:       map[int32]bool{int32(e1): true},
+	})
+	if err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`graph "fig"`,
+		`"u" -- "v1" [label="4", style=bold, penwidth=2];`,
+		`"v1" -- "v2" [label="2.5", style=dashed];`,
+		`"v1" [style=filled, fillcolor=lightblue];`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteDOT(&sb, g, DOTOptions{WeightChannel: "zzz"}); err == nil {
+		t.Error("unknown weight channel accepted")
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Connected(0, 1) {
+		t.Error("fresh sets connected")
+	}
+	if !uf.Union(0, 1) || !uf.Union(1, 2) {
+		t.Error("unions reported as no-ops")
+	}
+	if uf.Union(0, 2) {
+		t.Error("redundant union reported as merge")
+	}
+	if !uf.Connected(0, 2) || uf.Connected(0, 3) {
+		t.Error("connectivity wrong")
+	}
+	uf.Reset(3)
+	if uf.Connected(0, 1) {
+		t.Error("Reset did not clear sets")
+	}
+}

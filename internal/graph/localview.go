@@ -1,0 +1,126 @@
+package graph
+
+import "sort"
+
+// Role classifies a node inside a local view.
+type Role uint8
+
+// Roles of nodes relative to the view's center u.
+const (
+	RoleOutside Role = iota
+	RoleCenter       // u itself
+	RoleOneHop       // N(u)
+	RoleTwoHop       // N2(u)
+)
+
+// LocalView is the partial topology G_u = (V_u, E_u) node u knows after
+// neighbor discovery (paper Sec. III-A):
+//
+//	V_u = {u} ∪ N(u) ∪ N2(u)
+//	E_u = {(v,w) | v ∈ N(u) ∧ w ∈ V_u}
+//
+// i.e. all nodes within two hops and every edge incident to a 1-hop
+// neighbor. Note that edges between two 2-hop neighbors are invisible (the
+// paper's Fig. 2: u is not aware of link (v8,v9)).
+type LocalView struct {
+	G *Graph
+	// U is the center node.
+	U int32
+	// N1 lists the 1-hop neighbors sorted by ascending NodeID, the
+	// deterministic processing order of the selection algorithms.
+	N1 []int32
+	// N2 lists the 2-hop neighbors sorted by ascending NodeID.
+	N2 []int32
+
+	role    []Role  // per global node
+	n1Index []int32 // global node -> position in N1, -1 otherwise
+}
+
+// NewLocalView computes the local view of u in g.
+func NewLocalView(g *Graph, u int32) *LocalView {
+	lv := &LocalView{
+		G:       g,
+		U:       u,
+		role:    make([]Role, g.N()),
+		n1Index: make([]int32, g.N()),
+	}
+	for i := range lv.n1Index {
+		lv.n1Index[i] = -1
+	}
+	lv.role[u] = RoleCenter
+	for _, arc := range g.Arcs(u) {
+		lv.role[arc.To] = RoleOneHop
+		lv.N1 = append(lv.N1, arc.To)
+	}
+	for _, n := range lv.N1 {
+		for _, arc := range g.Arcs(n) {
+			if lv.role[arc.To] == RoleOutside {
+				lv.role[arc.To] = RoleTwoHop
+				lv.N2 = append(lv.N2, arc.To)
+			}
+		}
+	}
+	byID := func(s []int32) {
+		sort.Slice(s, func(i, j int) bool { return g.ID(s[i]) < g.ID(s[j]) })
+	}
+	byID(lv.N1)
+	byID(lv.N2)
+	for i, n := range lv.N1 {
+		lv.n1Index[n] = int32(i)
+	}
+	return lv
+}
+
+// Role returns the role of global node x in the view.
+func (lv *LocalView) Role(x int32) Role { return lv.role[x] }
+
+// InView reports whether x belongs to V_u.
+func (lv *LocalView) InView(x int32) bool { return lv.role[x] != RoleOutside }
+
+// IsNeighbor reports whether x is a 1-hop neighbor of the center.
+func (lv *LocalView) IsNeighbor(x int32) bool { return lv.role[x] == RoleOneHop }
+
+// N1Index returns the position of x in N1, or -1 if x is not a 1-hop
+// neighbor.
+func (lv *LocalView) N1Index(x int32) int32 { return lv.n1Index[x] }
+
+// HasViewEdge reports whether the arc tail->head is part of E_u: the edge
+// must touch a 1-hop neighbor, and when the center is an endpoint the other
+// endpoint is necessarily a 1-hop neighbor.
+func (lv *LocalView) HasViewEdge(tail, head int32) bool {
+	if !lv.InView(tail) || !lv.InView(head) {
+		return false
+	}
+	return lv.role[tail] == RoleOneHop || lv.role[head] == RoleOneHop
+}
+
+// Targets returns the selection targets of the paper's Algorithms 1 and 2:
+// first every 1-hop neighbor, then every 2-hop neighbor, each sorted by ID.
+// The returned slice is freshly allocated.
+func (lv *LocalView) Targets() []int32 {
+	out := make([]int32, 0, len(lv.N1)+len(lv.N2))
+	out = append(out, lv.N1...)
+	out = append(out, lv.N2...)
+	return out
+}
+
+// ViewEdges appends to dst every edge index of E_u and returns it. Each edge
+// appears once.
+func (lv *LocalView) ViewEdges(dst []int32) []int32 {
+	g := lv.G
+	for _, n := range lv.N1 {
+		for _, arc := range g.Arcs(n) {
+			if !lv.InView(arc.To) {
+				continue
+			}
+			// Emit each edge once: from the 1-hop endpoint with the
+			// smaller node index, or from the 1-hop endpoint when the
+			// other side is not 1-hop.
+			if lv.role[arc.To] == RoleOneHop && arc.To < n {
+				continue
+			}
+			dst = append(dst, arc.Edge)
+		}
+	}
+	return dst
+}

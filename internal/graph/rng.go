@@ -1,0 +1,83 @@
+package graph
+
+import "qolsr/internal/metric"
+
+// ReducedView is a local view with relative-neighborhood-graph filtering
+// applied to its edges, the topology reduction of Moraru & Simplot-Ryl used
+// by the topology-filtering QANS baseline (paper Sec. II, [7], [10]).
+type ReducedView struct {
+	View *LocalView
+	// Keep flags which global edge indices of E_u survive the reduction.
+	Keep map[int32]bool
+}
+
+// ReduceRNG filters the edges of view under the relative neighborhood rule
+// adapted to the metric: edge (x,y) is removed when some witness z adjacent
+// to both inside G_u offers a strictly better two-hop detour on both legs:
+//
+//	m.Better(w(x,z), w(x,y))  ∧  m.Better(w(z,y), w(x,y))
+//
+// For delay this is Toussaint's classic lune condition (both legs shorter);
+// for bandwidth both legs must be strictly wider. Strictness on both legs
+// guarantees the reduction keeps a maximum (resp. minimum) spanning tree, so
+// it preserves connectivity and, in particular, widest-path/least-delay
+// reachability inside the view.
+func ReduceRNG(view *LocalView, m metric.Metric, w []float64) *ReducedView {
+	g := view.G
+	edges := view.ViewEdges(nil)
+	keep := make(map[int32]bool, len(edges))
+
+	// neighborWeight[z] caches w(z,y) for the y currently being scanned,
+	// stamped per edge to avoid clearing.
+	neighborWeight := make([]float64, g.N())
+	stamp := make([]int32, g.N())
+	cur := int32(0)
+
+	for _, e := range edges {
+		x, y := g.EdgeEndpoints(int(e))
+		cur++
+		for _, arc := range g.Arcs(y) {
+			if view.HasViewEdge(y, arc.To) {
+				stamp[arc.To] = cur
+				neighborWeight[arc.To] = w[arc.Edge]
+			}
+		}
+		removed := false
+		for _, arc := range g.Arcs(x) {
+			z := arc.To
+			if z == y || stamp[z] != cur || !view.HasViewEdge(x, z) {
+				continue
+			}
+			if m.Better(w[arc.Edge], w[e]) && m.Better(neighborWeight[z], w[e]) {
+				removed = true
+				break
+			}
+		}
+		keep[e] = !removed
+	}
+	return &ReducedView{View: view, Keep: keep}
+}
+
+// HasEdge reports whether the edge joining a and b is part of the reduced
+// view.
+func (rv *ReducedView) HasEdge(a, b int32) bool {
+	e, ok := rv.View.G.EdgeBetween(a, b)
+	if !ok {
+		return false
+	}
+	return rv.Keep[int32(e)]
+}
+
+// SurvivingDegree returns how many reduced-view edges touch the center; the
+// classic RNG result predicts a small constant (~2.6 for random geometric
+// graphs), which is why topology filtering advertises fewer neighbors than
+// QOLSR.
+func (rv *ReducedView) SurvivingDegree() int {
+	d := 0
+	for _, arc := range rv.View.G.Arcs(rv.View.U) {
+		if rv.Keep[arc.Edge] {
+			d++
+		}
+	}
+	return d
+}

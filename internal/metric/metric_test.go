@@ -1,0 +1,334 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBandwidthBasics(t *testing.T) {
+	m := Bandwidth()
+	if m.Name() != "bandwidth" {
+		t.Errorf("Name() = %q, want bandwidth", m.Name())
+	}
+	if m.Kind() != Concave {
+		t.Errorf("Kind() = %v, want Concave", m.Kind())
+	}
+	if got := m.Combine(5, 3); got != 3 {
+		t.Errorf("Combine(5,3) = %v, want 3 (bottleneck)", got)
+	}
+	if got := m.Combine(3, 5); got != 3 {
+		t.Errorf("Combine(3,5) = %v, want 3 (bottleneck)", got)
+	}
+	if !m.Better(5, 3) {
+		t.Error("Better(5,3) = false, want true (wider is better)")
+	}
+	if m.Better(3, 5) {
+		t.Error("Better(3,5) = true, want false")
+	}
+	if m.Better(4, 4) {
+		t.Error("Better must be strict: Better(4,4) = true")
+	}
+	if got := m.Combine(m.Identity(), 7); got != 7 {
+		t.Errorf("Combine(Identity,7) = %v, want 7", got)
+	}
+	if !m.Better(1e-9, m.Worst()) {
+		t.Error("any finite bandwidth must beat Worst()")
+	}
+}
+
+func TestDelayBasics(t *testing.T) {
+	m := Delay()
+	if m.Name() != "delay" {
+		t.Errorf("Name() = %q, want delay", m.Name())
+	}
+	if m.Kind() != Additive {
+		t.Errorf("Kind() = %v, want Additive", m.Kind())
+	}
+	if got := m.Combine(5, 3); got != 8 {
+		t.Errorf("Combine(5,3) = %v, want 8 (sum)", got)
+	}
+	if !m.Better(3, 5) {
+		t.Error("Better(3,5) = false, want true (smaller is better)")
+	}
+	if m.Better(5, 3) {
+		t.Error("Better(5,3) = true, want false")
+	}
+	if m.Better(4, 4) {
+		t.Error("Better must be strict: Better(4,4) = true")
+	}
+	if got := m.Combine(m.Identity(), 7); got != 7 {
+		t.Errorf("Combine(Identity,7) = %v, want 7", got)
+	}
+	if !m.Better(1e12, m.Worst()) {
+		t.Error("any finite delay must beat Worst()")
+	}
+}
+
+func TestHopMetricIgnoresWeight(t *testing.T) {
+	m := Hop()
+	if got := m.Combine(2, 99); got != 3 {
+		t.Errorf("Combine(2, 99) = %v, want 3", got)
+	}
+	if got := PathValue(m, []float64{5, 5, 5, 5}); got != 4 {
+		t.Errorf("PathValue over 4 links = %v, want 4", got)
+	}
+}
+
+func TestEnergyIsAdditive(t *testing.T) {
+	m := Energy()
+	if m.Kind() != Additive {
+		t.Fatalf("Kind() = %v, want Additive", m.Kind())
+	}
+	if got := PathValue(m, []float64{1.5, 2.5}); got != 4 {
+		t.Errorf("PathValue = %v, want 4", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Additive.String() != "additive" || Concave.String() != "concave" {
+		t.Errorf("Kind strings wrong: %v %v", Additive, Concave)
+	}
+	if got := Kind(42).String(); got != "Kind(42)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"bandwidth", "delay", "hop", "energy"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q) error: %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if _, err := ByName("jitterbug"); err == nil {
+		t.Error("ByName(jitterbug) succeeded, want error")
+	}
+}
+
+func TestBetterEqAndBest(t *testing.T) {
+	bw := Bandwidth()
+	if !BetterEq(bw, 5, 5) {
+		t.Error("BetterEq(5,5) = false for bandwidth")
+	}
+	if !BetterEq(bw, 6, 5) {
+		t.Error("BetterEq(6,5) = false for bandwidth")
+	}
+	if BetterEq(bw, 4, 5) {
+		t.Error("BetterEq(4,5) = true for bandwidth")
+	}
+	if got := Best(bw, 4, 9); got != 9 {
+		t.Errorf("Best(4,9) = %v, want 9", got)
+	}
+	d := Delay()
+	if got := Best(d, 4, 9); got != 4 {
+		t.Errorf("Best(4,9) = %v, want 4 for delay", got)
+	}
+	// Ties keep the first argument.
+	if got := Best(d, 4, 4); got != 4 {
+		t.Errorf("Best(4,4) = %v", got)
+	}
+}
+
+func TestPathValueEmpty(t *testing.T) {
+	if got := PathValue(Delay(), nil); got != 0 {
+		t.Errorf("empty delay path = %v, want 0", got)
+	}
+	if got := PathValue(Bandwidth(), nil); !math.IsInf(got, 1) {
+		t.Errorf("empty bandwidth path = %v, want +Inf", got)
+	}
+}
+
+// Property: Combine is monotone for both built-in path metrics — extending a
+// path never improves its value.
+func TestCombineNeverImproves(t *testing.T) {
+	for _, m := range []Metric{Bandwidth(), Delay(), Energy()} {
+		m := m
+		f := func(path, link float64) bool {
+			path = math.Abs(path)
+			link = math.Abs(link) + 1e-9
+			ext := m.Combine(path, link)
+			return !m.Better(ext, path)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: extension improved path value: %v", m.Name(), err)
+		}
+	}
+}
+
+// Property: Better is a strict weak order — irreflexive and asymmetric.
+func TestBetterStrictness(t *testing.T) {
+	for _, m := range []Metric{Bandwidth(), Delay(), Hop(), Energy()} {
+		m := m
+		f := func(a, b float64) bool {
+			if m.Better(a, a) || m.Better(b, b) {
+				return false
+			}
+			if m.Better(a, b) && m.Better(b, a) {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: Better not a strict order: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestIntervalValidate(t *testing.T) {
+	cases := []struct {
+		iv      Interval
+		wantErr bool
+	}{
+		{Interval{Lo: 1, Hi: 10}, false},
+		{Interval{Lo: 0.5, Hi: 0.5}, false},
+		{Interval{Lo: 0, Hi: 10}, true},
+		{Interval{Lo: -1, Hi: 10}, true},
+		{Interval{Lo: 5, Hi: 4}, true},
+	}
+	for _, c := range cases {
+		err := c.iv.Validate()
+		if (err != nil) != c.wantErr {
+			t.Errorf("Validate(%v) error = %v, wantErr = %v", c.iv, err, c.wantErr)
+		}
+	}
+}
+
+func TestIntervalDraw(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	iv := Interval{Lo: 2, Hi: 5}
+	for i := 0; i < 1000; i++ {
+		v := iv.Draw(rng)
+		if !iv.Contains(v) {
+			t.Fatalf("draw %v outside %v", v, iv)
+		}
+	}
+	point := Interval{Lo: 3, Hi: 3}
+	if got := point.Draw(rng); got != 3 {
+		t.Errorf("degenerate interval draw = %v, want 3", got)
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if got := (Interval{Lo: 1, Hi: 10}).String(); got != "[1,10]" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Interval{Lo: 1, Hi: 10, Integer: true}).String(); got != "{1..10}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestIntervalDrawInteger(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	iv := Interval{Lo: 1, Hi: 4, Integer: true}
+	seen := map[float64]int{}
+	for i := 0; i < 4000; i++ {
+		v := iv.Draw(rng)
+		if v != math.Trunc(v) || v < 1 || v > 4 {
+			t.Fatalf("integer draw %v outside {1..4}", v)
+		}
+		seen[v]++
+	}
+	for v := 1.0; v <= 4; v++ {
+		if seen[v] < 800 {
+			t.Errorf("value %v drawn only %d times, want ~1000", v, seen[v])
+		}
+	}
+}
+
+func TestDefaultInterval(t *testing.T) {
+	if err := DefaultInterval().Validate(); err != nil {
+		t.Fatalf("default interval invalid: %v", err)
+	}
+}
+
+func TestLexicographicSemiring(t *testing.T) {
+	lex := Lexicographic{
+		PrimaryMetric:   Bandwidth(),
+		SecondaryMetric: Energy(),
+		PrimaryWeight:   "bandwidth",
+		SecondaryWeight: "energy",
+	}
+	if lex.Name() != "bandwidth+energy" {
+		t.Errorf("Name() = %q", lex.Name())
+	}
+	a := LexCost{Primary: 5, Secondary: 2}
+	b := LexCost{Primary: 5, Secondary: 1}
+	if lex.Better(a, b) {
+		t.Error("higher energy at same bandwidth should not be better")
+	}
+	if !lex.Better(b, a) {
+		t.Error("lower energy at same bandwidth should be better")
+	}
+	wide := LexCost{Primary: 9, Secondary: 100}
+	if !lex.Better(wide, b) {
+		t.Error("wider path must dominate regardless of energy")
+	}
+	// Combine composes both channels with their own metric.
+	got := lex.Combine(LexCost{Primary: 5, Secondary: 2}, LexCost{Primary: 3, Secondary: 4})
+	if got.Primary != 3 || got.Secondary != 6 {
+		t.Errorf("Combine = %+v, want {3 6}", got)
+	}
+	id := lex.Identity()
+	if !math.IsInf(id.Primary, 1) || id.Secondary != 0 {
+		t.Errorf("Identity = %+v", id)
+	}
+	w := lex.Worst()
+	if !math.IsInf(w.Primary, -1) || !math.IsInf(w.Secondary, 1) {
+		t.Errorf("Worst = %+v", w)
+	}
+}
+
+func TestLexicographicLinkCost(t *testing.T) {
+	lex := Lexicographic{
+		PrimaryMetric:   Bandwidth(),
+		SecondaryMetric: Energy(),
+		PrimaryWeight:   "bandwidth",
+		SecondaryWeight: "energy",
+	}
+	c, err := lex.LinkCost(map[string]float64{"bandwidth": 4, "energy": 7})
+	if err != nil {
+		t.Fatalf("LinkCost error: %v", err)
+	}
+	if c.Primary != 4 || c.Secondary != 7 {
+		t.Errorf("LinkCost = %+v", c)
+	}
+	if _, err := lex.LinkCost(map[string]float64{"bandwidth": 4}); err == nil {
+		t.Error("missing energy channel accepted")
+	}
+	if _, err := lex.LinkCost(map[string]float64{"energy": 4}); err == nil {
+		t.Error("missing bandwidth channel accepted")
+	}
+}
+
+func TestScalarSemiring(t *testing.T) {
+	s := Scalar{Metric: Delay()}
+	v, err := s.LinkCost(map[string]float64{"delay": 2.5})
+	if err != nil {
+		t.Fatalf("LinkCost error: %v", err)
+	}
+	if v != 2.5 {
+		t.Errorf("LinkCost = %v", v)
+	}
+	if _, err := s.LinkCost(map[string]float64{"bandwidth": 1}); err == nil {
+		t.Error("missing channel accepted")
+	}
+	custom := Scalar{Metric: Delay(), Weight: "rtt"}
+	v, err = custom.LinkCost(map[string]float64{"rtt": 9})
+	if err != nil || v != 9 {
+		t.Errorf("custom channel LinkCost = %v, %v", v, err)
+	}
+	if s.Combine(1, 2) != 3 || !s.Better(1, 2) || s.Identity() != 0 {
+		t.Error("Scalar does not delegate to wrapped metric")
+	}
+	if !math.IsInf(s.Worst(), 1) {
+		t.Errorf("Worst = %v", s.Worst())
+	}
+	if s.Name() != "delay" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}

@@ -1,0 +1,194 @@
+// Package olsr implements the OLSR/QOLSR protocol machinery the paper's
+// selection algorithms live in: HELLO messages that piggyback the sender's
+// neighborhood table with QoS link weights (building each node's two-hop
+// view G_u), TC messages that flood the advertised neighbor sets through the
+// MPR backbone, duplicate suppression, topology and neighbor state with
+// expiry, and QoS routing-table computation.
+//
+// The implementation follows RFC 3626's structure simplified to the paper's
+// assumptions: symmetric links (no asymmetric sensing phase), uniform
+// willingness, no HNA/MID, and an abstract per-link QoS weight whose
+// measurement is out of scope (paper Sec. II).
+package olsr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// MsgType discriminates wire messages.
+type MsgType uint8
+
+// Wire message types.
+const (
+	MsgHello MsgType = iota + 1
+	MsgTC
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "HELLO"
+	case MsgTC:
+		return "TC"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(t))
+	}
+}
+
+// LinkInfo is one advertised link: the neighbor's identifier and the QoS
+// weight of the link toward it.
+type LinkInfo struct {
+	Neighbor int64
+	Weight   float64
+}
+
+// Hello is the neighbor-discovery message. Besides announcing the sender,
+// it piggybacks the sender's current link table with weights, which is
+// exactly what lets receivers assemble the two-hop view G_u the selection
+// algorithms need (paper Sec. III-B: "this can be achieved by piggybacking
+// neighborhood table in Hello messages").
+type Hello struct {
+	// Origin is the sending node.
+	Origin int64
+	// Seq increments per HELLO from this origin.
+	Seq uint16
+	// Links is the sender's neighbor table with QoS weights.
+	Links []LinkInfo
+	// MPRs lists the neighbors the sender has chosen as multipoint
+	// relays; receivers use it to maintain their MPR-selector sets,
+	// which gate TC forwarding.
+	MPRs []int64
+}
+
+// TC is the topology-control message flooded through the MPR backbone. It
+// advertises the origin's QoS Advertised Neighbor Set with link weights so
+// remote nodes can compute QoS routes.
+type TC struct {
+	// Origin is the node whose advertised set this is (not the
+	// forwarder).
+	Origin int64
+	// ANSN is the Advertised Neighbor Sequence Number; stale TCs are
+	// discarded.
+	ANSN uint16
+	// Seq is the flooding sequence number used for duplicate
+	// suppression.
+	Seq uint16
+	// Links is the advertised neighbor set with link weights.
+	Links []LinkInfo
+}
+
+const (
+	headerLen   = 1 + 8 + 2 + 2 // type, origin, seq, count
+	linkInfoLen = 8 + 8
+)
+
+// MarshalHello encodes h into a fresh byte slice.
+func MarshalHello(h *Hello) []byte {
+	buf := make([]byte, 0, headerLen+2+len(h.Links)*linkInfoLen+len(h.MPRs)*8)
+	buf = append(buf, byte(MsgHello))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(h.Origin))
+	buf = binary.BigEndian.AppendUint16(buf, h.Seq)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.Links)))
+	for _, l := range h.Links {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(l.Neighbor))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(l.Weight))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.MPRs)))
+	for _, m := range h.MPRs {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m))
+	}
+	return buf
+}
+
+// UnmarshalHello decodes a HELLO produced by MarshalHello.
+func UnmarshalHello(buf []byte) (*Hello, error) {
+	if len(buf) < headerLen {
+		return nil, fmt.Errorf("olsr: hello too short (%d bytes)", len(buf))
+	}
+	if MsgType(buf[0]) != MsgHello {
+		return nil, fmt.Errorf("olsr: not a hello (type %d)", buf[0])
+	}
+	h := &Hello{
+		Origin: int64(binary.BigEndian.Uint64(buf[1:9])),
+		Seq:    binary.BigEndian.Uint16(buf[9:11]),
+	}
+	n := int(binary.BigEndian.Uint16(buf[11:13]))
+	off := 13
+	if len(buf) < off+n*linkInfoLen+2 {
+		return nil, fmt.Errorf("olsr: hello truncated (%d links claimed)", n)
+	}
+	h.Links = make([]LinkInfo, n)
+	for i := 0; i < n; i++ {
+		h.Links[i].Neighbor = int64(binary.BigEndian.Uint64(buf[off : off+8]))
+		h.Links[i].Weight = math.Float64frombits(binary.BigEndian.Uint64(buf[off+8 : off+16]))
+		off += linkInfoLen
+	}
+	m := int(binary.BigEndian.Uint16(buf[off : off+2]))
+	off += 2
+	if len(buf) < off+m*8 {
+		return nil, fmt.Errorf("olsr: hello truncated (%d mprs claimed)", m)
+	}
+	h.MPRs = make([]int64, m)
+	for i := 0; i < m; i++ {
+		h.MPRs[i] = int64(binary.BigEndian.Uint64(buf[off : off+8]))
+		off += 8
+	}
+	return h, nil
+}
+
+// MarshalTC encodes t into a fresh byte slice.
+func MarshalTC(t *TC) []byte {
+	buf := make([]byte, 0, headerLen+2+len(t.Links)*linkInfoLen)
+	buf = append(buf, byte(MsgTC))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(t.Origin))
+	buf = binary.BigEndian.AppendUint16(buf, t.Seq)
+	buf = binary.BigEndian.AppendUint16(buf, t.ANSN)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(t.Links)))
+	for _, l := range t.Links {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(l.Neighbor))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(l.Weight))
+	}
+	return buf
+}
+
+// UnmarshalTC decodes a TC produced by MarshalTC.
+func UnmarshalTC(buf []byte) (*TC, error) {
+	if len(buf) < headerLen+2 {
+		return nil, fmt.Errorf("olsr: tc too short (%d bytes)", len(buf))
+	}
+	if MsgType(buf[0]) != MsgTC {
+		return nil, fmt.Errorf("olsr: not a tc (type %d)", buf[0])
+	}
+	t := &TC{
+		Origin: int64(binary.BigEndian.Uint64(buf[1:9])),
+		Seq:    binary.BigEndian.Uint16(buf[9:11]),
+		ANSN:   binary.BigEndian.Uint16(buf[11:13]),
+	}
+	n := int(binary.BigEndian.Uint16(buf[13:15]))
+	if len(buf) < 15+n*linkInfoLen {
+		return nil, fmt.Errorf("olsr: tc truncated (%d links claimed)", n)
+	}
+	t.Links = make([]LinkInfo, n)
+	off := 15
+	for i := 0; i < n; i++ {
+		t.Links[i].Neighbor = int64(binary.BigEndian.Uint64(buf[off : off+8]))
+		t.Links[i].Weight = math.Float64frombits(binary.BigEndian.Uint64(buf[off+8 : off+16]))
+		off += linkInfoLen
+	}
+	return t, nil
+}
+
+// PeekType reports the wire type of an encoded message.
+func PeekType(buf []byte) (MsgType, error) {
+	if len(buf) == 0 {
+		return 0, fmt.Errorf("olsr: empty message")
+	}
+	t := MsgType(buf[0])
+	if t != MsgHello && t != MsgTC {
+		return 0, fmt.Errorf("olsr: unknown message type %d", buf[0])
+	}
+	return t, nil
+}

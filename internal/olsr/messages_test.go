@@ -1,0 +1,164 @@
+package olsr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := &Hello{
+		Origin: 42,
+		Seq:    1001,
+		Links: []LinkInfo{
+			{Neighbor: 7, Weight: 3.25},
+			{Neighbor: 9, Weight: 8},
+		},
+		MPRs: []int64{7},
+	}
+	got, err := UnmarshalHello(MarshalHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, got) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", h, got)
+	}
+}
+
+func TestTCRoundTrip(t *testing.T) {
+	tc := &TC{
+		Origin: 3,
+		ANSN:   77,
+		Seq:    12,
+		Links:  []LinkInfo{{Neighbor: 5, Weight: 1.5}},
+	}
+	got, err := UnmarshalTC(MarshalTC(tc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tc, got) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", tc, got)
+	}
+}
+
+func TestEmptyMessagesRoundTrip(t *testing.T) {
+	h, err := UnmarshalHello(MarshalHello(&Hello{Origin: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Links) != 0 || len(h.MPRs) != 0 {
+		t.Error("empty hello grew content")
+	}
+	tc, err := UnmarshalTC(MarshalTC(&TC{Origin: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tc.Links) != 0 {
+		t.Error("empty tc grew content")
+	}
+}
+
+// Property: round trips preserve arbitrary messages.
+func TestHelloRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(origin int64, seq uint16, nLinks, nMPRs uint8) bool {
+		h := &Hello{Origin: origin, Seq: seq}
+		for i := 0; i < int(nLinks%32); i++ {
+			h.Links = append(h.Links, LinkInfo{Neighbor: rng.Int63(), Weight: rng.Float64() * 100})
+		}
+		for i := 0; i < int(nMPRs%16); i++ {
+			h.MPRs = append(h.MPRs, rng.Int63())
+		}
+		got, err := UnmarshalHello(MarshalHello(h))
+		if err != nil {
+			return false
+		}
+		if got.Origin != h.Origin || got.Seq != h.Seq ||
+			len(got.Links) != len(h.Links) || len(got.MPRs) != len(h.MPRs) {
+			return false
+		}
+		for i := range h.Links {
+			if got.Links[i] != h.Links[i] {
+				return false
+			}
+		}
+		for i := range h.MPRs {
+			if got.MPRs[i] != h.MPRs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(origin int64, seq, ansn uint16, nLinks uint8) bool {
+		tc := &TC{Origin: origin, Seq: seq, ANSN: ansn}
+		for i := 0; i < int(nLinks%32); i++ {
+			tc.Links = append(tc.Links, LinkInfo{Neighbor: rng.Int63(), Weight: rng.Float64() * 100})
+		}
+		got, err := UnmarshalTC(MarshalTC(tc))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tcNorm(tc), tcNorm(got))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func tcNorm(t *TC) TC {
+	c := *t
+	if len(c.Links) == 0 {
+		c.Links = nil
+	}
+	return c
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalHello(nil); err == nil {
+		t.Error("nil hello accepted")
+	}
+	if _, err := UnmarshalTC([]byte{byte(MsgTC), 0, 1}); err == nil {
+		t.Error("short tc accepted")
+	}
+	if _, err := UnmarshalHello(MarshalTC(&TC{Origin: 1})); err == nil {
+		t.Error("tc decoded as hello")
+	}
+	if _, err := UnmarshalTC(MarshalHello(&Hello{Origin: 1})); err == nil {
+		t.Error("hello decoded as tc")
+	}
+	// Truncated link section.
+	h := MarshalHello(&Hello{Origin: 1, Links: []LinkInfo{{Neighbor: 2, Weight: 3}}})
+	if _, err := UnmarshalHello(h[:len(h)-4]); err == nil {
+		t.Error("truncated hello accepted")
+	}
+	tc := MarshalTC(&TC{Origin: 1, Links: []LinkInfo{{Neighbor: 2, Weight: 3}}})
+	if _, err := UnmarshalTC(tc[:len(tc)-1]); err == nil {
+		t.Error("truncated tc accepted")
+	}
+	if _, err := PeekType([]byte{99}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := PeekType(nil); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	if tp, err := PeekType(MarshalHello(&Hello{Origin: 1})); err != nil || tp != MsgHello {
+		t.Error("PeekType failed on hello")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgHello.String() != "HELLO" || MsgTC.String() != "TC" {
+		t.Error("message type names")
+	}
+	if MsgType(9).String() != "MsgType(9)" {
+		t.Error("unknown type name")
+	}
+}

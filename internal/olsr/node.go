@@ -1,0 +1,515 @@
+package olsr
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"qolsr/internal/core"
+	"qolsr/internal/graph"
+	"qolsr/internal/metric"
+	"qolsr/internal/mpr"
+)
+
+// Config parameterises a protocol node. The zero value is not usable; use
+// DefaultConfig as a base.
+type Config struct {
+	// HelloInterval and TCInterval are emission periods (RFC 3626
+	// defaults: 2s and 5s).
+	HelloInterval time.Duration
+	TCInterval    time.Duration
+	// NeighborHoldTime and TopologyHoldTime are state validity windows
+	// (RFC 3626: 3x the emission interval).
+	NeighborHoldTime time.Duration
+	TopologyHoldTime time.Duration
+	// Metric is the QoS metric driving ANS selection and routing.
+	Metric metric.Metric
+	// Selector computes the advertised neighbor set (default core.FNBP).
+	Selector core.Selector
+	// MPRHeuristic computes the flooding relay set (default RFC greedy).
+	MPRHeuristic mpr.Heuristic
+}
+
+// DefaultConfig returns RFC-style timers with FNBP selection under the given
+// metric.
+func DefaultConfig(m metric.Metric) Config {
+	return Config{
+		HelloInterval:    2 * time.Second,
+		TCInterval:       5 * time.Second,
+		NeighborHoldTime: 6 * time.Second,
+		TopologyHoldTime: 15 * time.Second,
+		Metric:           m,
+		Selector:         core.FNBP{},
+		MPRHeuristic:     mpr.Greedy,
+	}
+}
+
+type linkEntry struct {
+	weight  float64
+	expires time.Duration
+}
+
+type neighborTable struct {
+	links   map[int64]float64 // the neighbor's own links, from its HELLO
+	mprs    map[int64]bool    // neighbors the neighbor selected as MPR
+	expires time.Duration
+}
+
+type topoEntry struct {
+	ansn    uint16
+	links   map[int64]float64
+	expires time.Duration
+}
+
+type dupKey struct {
+	origin int64
+	seq    uint16
+}
+
+// Route is one routing-table entry.
+type Route struct {
+	// NextHop is the neighbor to forward through.
+	NextHop int64
+	// Value is the QoS value of the route under the node's metric.
+	Value float64
+	// Hops is the route length.
+	Hops int
+}
+
+// Node is one OLSR/QOLSR protocol participant. Nodes are single-goroutine
+// state machines driven by the simulator: handlers must be called from one
+// goroutine.
+type Node struct {
+	// ID is the node's unique protocol identifier (also its tie-break
+	// identity in the selection algorithms).
+	ID  int64
+	cfg Config
+
+	// links are this node's own measured links (fed by the link oracle;
+	// metric computation is out of the paper's scope).
+	links map[int64]linkEntry
+	// neighbors holds per-neighbor HELLO state.
+	neighbors map[int64]neighborTable
+	// topology holds TC-learned advertised links per origin.
+	topology map[int64]topoEntry
+	// dups suppresses re-flooding (origin, seq) pairs.
+	dups map[dupKey]time.Duration
+
+	helloSeq uint16
+	tcSeq    uint16
+	ansn     uint16
+
+	mprSet    []int64
+	ansSet    []int64
+	selectors map[int64]time.Duration // nodes that chose us as MPR
+
+	// dirty marks that ANS/MPR need recomputation before the next use.
+	dirty bool
+}
+
+// NewNode returns a node with the given identity and configuration.
+func NewNode(id int64, cfg Config) (*Node, error) {
+	if cfg.HelloInterval <= 0 || cfg.TCInterval <= 0 {
+		return nil, fmt.Errorf("olsr: non-positive intervals in config")
+	}
+	if cfg.Metric == nil {
+		return nil, fmt.Errorf("olsr: config needs a metric")
+	}
+	if cfg.Selector == nil {
+		cfg.Selector = core.FNBP{}
+	}
+	if cfg.MPRHeuristic == 0 {
+		cfg.MPRHeuristic = mpr.Greedy
+	}
+	if cfg.NeighborHoldTime <= 0 {
+		cfg.NeighborHoldTime = 3 * cfg.HelloInterval
+	}
+	if cfg.TopologyHoldTime <= 0 {
+		cfg.TopologyHoldTime = 3 * cfg.TCInterval
+	}
+	return &Node{
+		ID:        id,
+		cfg:       cfg,
+		links:     make(map[int64]linkEntry),
+		neighbors: make(map[int64]neighborTable),
+		topology:  make(map[int64]topoEntry),
+		dups:      make(map[dupKey]time.Duration),
+		selectors: make(map[int64]time.Duration),
+	}, nil
+}
+
+// UpdateLink records (or refreshes) this node's own link to a neighbor with
+// its current QoS weight, as measured by the out-of-scope metric layer.
+func (n *Node) UpdateLink(neighbor int64, weight float64, now time.Duration) {
+	n.links[neighbor] = linkEntry{weight: weight, expires: now + n.cfg.NeighborHoldTime}
+	n.dirty = true
+}
+
+// expire drops stale state.
+func (n *Node) expire(now time.Duration) {
+	for id, l := range n.links {
+		if l.expires <= now {
+			delete(n.links, id)
+			n.dirty = true
+		}
+	}
+	for id, t := range n.neighbors {
+		if t.expires <= now {
+			delete(n.neighbors, id)
+			n.dirty = true
+		}
+	}
+	for id, t := range n.topology {
+		if t.expires <= now {
+			delete(n.topology, id)
+		}
+	}
+	for id, e := range n.selectors {
+		if e <= now {
+			delete(n.selectors, id)
+		}
+	}
+	for k, e := range n.dups {
+		if e <= now {
+			delete(n.dups, k)
+		}
+	}
+}
+
+// GenerateHello produces this node's periodic HELLO.
+func (n *Node) GenerateHello(now time.Duration) *Hello {
+	n.expire(now)
+	n.recompute()
+	h := &Hello{Origin: n.ID, Seq: n.helloSeq}
+	n.helloSeq++
+	for id, l := range n.links {
+		h.Links = append(h.Links, LinkInfo{Neighbor: id, Weight: l.weight})
+	}
+	sort.Slice(h.Links, func(i, j int) bool { return h.Links[i].Neighbor < h.Links[j].Neighbor })
+	h.MPRs = append(h.MPRs, n.mprSet...)
+	return h
+}
+
+// HandleHello ingests a neighbor's HELLO.
+func (n *Node) HandleHello(h *Hello, now time.Duration) {
+	n.expire(now)
+	// Receiving a HELLO proves the link (ideal symmetric MAC); adopt the
+	// neighbor's advertised weight toward us when present so both ends
+	// agree on the link weight.
+	for _, l := range h.Links {
+		if l.Neighbor == n.ID {
+			n.UpdateLink(h.Origin, l.Weight, now)
+		}
+	}
+	tbl := neighborTable{
+		links:   make(map[int64]float64, len(h.Links)),
+		mprs:    make(map[int64]bool, len(h.MPRs)),
+		expires: now + n.cfg.NeighborHoldTime,
+	}
+	for _, l := range h.Links {
+		tbl.links[l.Neighbor] = l.Weight
+	}
+	for _, m := range h.MPRs {
+		tbl.mprs[m] = true
+		if m == n.ID {
+			n.selectors[h.Origin] = now + n.cfg.NeighborHoldTime
+		}
+	}
+	n.neighbors[h.Origin] = tbl
+	n.dirty = true
+}
+
+// GenerateTC produces this node's periodic TC advertising its ANS, or nil
+// when it has nothing to advertise (RFC behaviour: nodes with an empty
+// advertised set may stay silent).
+func (n *Node) GenerateTC(now time.Duration) *TC {
+	n.expire(now)
+	n.recompute()
+	if len(n.ansSet) == 0 {
+		return nil
+	}
+	t := &TC{Origin: n.ID, Seq: n.tcSeq, ANSN: n.ansn}
+	n.tcSeq++
+	for _, id := range n.ansSet {
+		if l, ok := n.links[id]; ok {
+			t.Links = append(t.Links, LinkInfo{Neighbor: id, Weight: l.weight})
+		}
+	}
+	return t
+}
+
+// HandleTC ingests a flooded TC received from the direct neighbor sender
+// and reports whether this node must re-broadcast it (RFC 3626 forwarding
+// rule: forward once, and only if the sender selected us as MPR).
+func (n *Node) HandleTC(t *TC, sender int64, now time.Duration) (forward bool) {
+	n.expire(now)
+	key := dupKey{origin: t.Origin, seq: t.Seq}
+	if _, dup := n.dups[key]; dup {
+		return false
+	}
+	n.dups[key] = now + n.cfg.TopologyHoldTime
+	if t.Origin != n.ID {
+		cur, ok := n.topology[t.Origin]
+		// Accept unless stale (ANSN regression within the validity
+		// window).
+		if !ok || !ansnNewer(cur.ansn, t.ANSN) {
+			entry := topoEntry{
+				ansn:    t.ANSN,
+				links:   make(map[int64]float64, len(t.Links)),
+				expires: now + n.cfg.TopologyHoldTime,
+			}
+			for _, l := range t.Links {
+				entry.links[l.Neighbor] = l.Weight
+			}
+			n.topology[t.Origin] = entry
+		}
+	}
+	_, senderSelectedUs := n.selectors[sender]
+	return senderSelectedUs
+}
+
+// ansnNewer reports whether current is strictly newer than candidate under
+// wrap-around sequence comparison.
+func ansnNewer(current, candidate uint16) bool {
+	return int16(current-candidate) > 0
+}
+
+// recompute refreshes the MPR set, the ANS and the ANSN when the underlying
+// neighborhood changed.
+func (n *Node) recompute() {
+	if !n.dirty {
+		return
+	}
+	n.dirty = false
+
+	view, g, w, err := n.localView()
+	if err != nil || view == nil {
+		n.mprSet, n.ansSet = nil, nil
+		return
+	}
+	mprs, err := mpr.Select(view, n.cfg.MPRHeuristic, n.cfg.Metric, w)
+	if err != nil {
+		mprs = nil
+	}
+	ans, err := n.cfg.Selector.Select(view, n.cfg.Metric, w)
+	if err != nil {
+		ans = nil
+	}
+	toIDs := func(idx []int32) []int64 {
+		out := make([]int64, len(idx))
+		for i, x := range idx {
+			out[i] = int64(g.ID(x))
+		}
+		return out
+	}
+	n.mprSet = toIDs(mprs)
+	newANS := toIDs(ans)
+	if !equalIDs(newANS, n.ansSet) {
+		n.ansSet = newANS
+		n.ansn++
+	}
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// localView materialises the node's current knowledge of G_u as a graph and
+// returns the local view centered at this node.
+func (n *Node) localView() (*graph.LocalView, *graph.Graph, []float64, error) {
+	if len(n.links) == 0 {
+		return nil, nil, nil, nil
+	}
+	// Collect known identifiers: self, direct neighbors, and everything
+	// the neighbors advertise.
+	idset := map[int64]bool{n.ID: true}
+	for id := range n.links {
+		idset[id] = true
+	}
+	for _, tbl := range n.neighbors {
+		for id := range tbl.links {
+			idset[id] = true
+		}
+	}
+	ids := make([]graph.NodeID, 0, len(idset))
+	for id := range idset {
+		ids = append(ids, graph.NodeID(id))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	g, err := graph.NewWithIDs(ids)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	index := make(map[int64]int32, len(ids))
+	for i, id := range ids {
+		index[int64(id)] = int32(i)
+	}
+	channel := n.cfg.Metric.Name()
+	addEdge := func(a, b int64, weight float64) {
+		ia, ib := index[a], index[b]
+		if _, dup := g.EdgeBetween(ia, ib); dup {
+			return
+		}
+		e, err := g.AddEdge(ia, ib)
+		if err != nil {
+			return
+		}
+		_ = g.SetWeight(channel, e, weight)
+	}
+	for id, l := range n.links {
+		addEdge(n.ID, id, l.weight)
+	}
+	for nb, tbl := range n.neighbors {
+		if _, direct := n.links[nb]; !direct {
+			continue
+		}
+		for peer, weight := range tbl.links {
+			if peer == n.ID {
+				continue
+			}
+			addEdge(nb, peer, weight)
+		}
+	}
+	w, err := g.Weights(channel)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	view := graph.NewLocalView(g, index[n.ID])
+	return view, g, w, nil
+}
+
+// MPRSet returns the current multipoint relay set (flooding).
+func (n *Node) MPRSet(now time.Duration) []int64 {
+	n.expire(now)
+	n.recompute()
+	return append([]int64(nil), n.mprSet...)
+}
+
+// ANS returns the current advertised neighbor set (routing).
+func (n *Node) ANS(now time.Duration) []int64 {
+	n.expire(now)
+	n.recompute()
+	return append([]int64(nil), n.ansSet...)
+}
+
+// Selectors returns the nodes that currently select this node as MPR.
+func (n *Node) Selectors(now time.Duration) []int64 {
+	n.expire(now)
+	out := make([]int64, 0, len(n.selectors))
+	for id := range n.selectors {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KnownTopology assembles the node's routing graph: its own links plus
+// every valid advertised link learned from TCs and the two-hop links
+// learned from HELLOs.
+func (n *Node) KnownTopology(now time.Duration) (*graph.Graph, error) {
+	n.expire(now)
+	idset := map[int64]bool{n.ID: true}
+	for id := range n.links {
+		idset[id] = true
+	}
+	for _, tbl := range n.neighbors {
+		for id := range tbl.links {
+			idset[id] = true
+		}
+	}
+	for origin, t := range n.topology {
+		idset[origin] = true
+		for id := range t.links {
+			idset[id] = true
+		}
+	}
+	ids := make([]graph.NodeID, 0, len(idset))
+	for id := range idset {
+		ids = append(ids, graph.NodeID(id))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	g, err := graph.NewWithIDs(ids)
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[int64]int32, len(ids))
+	for i, id := range ids {
+		index[int64(id)] = int32(i)
+	}
+	channel := n.cfg.Metric.Name()
+	addEdge := func(a, b int64, weight float64) {
+		ia, ib := index[a], index[b]
+		if _, dup := g.EdgeBetween(ia, ib); dup {
+			return
+		}
+		e, err := g.AddEdge(ia, ib)
+		if err != nil {
+			return
+		}
+		_ = g.SetWeight(channel, e, weight)
+	}
+	for id, l := range n.links {
+		addEdge(n.ID, id, l.weight)
+	}
+	for nb, tbl := range n.neighbors {
+		if _, direct := n.links[nb]; !direct {
+			continue
+		}
+		for peer, weight := range tbl.links {
+			if peer != n.ID {
+				addEdge(nb, peer, weight)
+			}
+		}
+	}
+	for origin, t := range n.topology {
+		for peer, weight := range t.links {
+			addEdge(origin, peer, weight)
+		}
+	}
+	return g, nil
+}
+
+// RoutingTable computes QoS routes to every known destination: a QoS-metric
+// Dijkstra over the known topology, next hop being the first node of the
+// best path.
+func (n *Node) RoutingTable(now time.Duration) (map[int64]Route, error) {
+	g, err := n.KnownTopology(now)
+	if err != nil {
+		return nil, err
+	}
+	channel := n.cfg.Metric.Name()
+	w, err := g.Weights(channel)
+	if err != nil {
+		// No edges at all: empty table.
+		return map[int64]Route{}, nil
+	}
+	self := g.IndexOf(graph.NodeID(n.ID))
+	if self < 0 {
+		return map[int64]Route{}, nil
+	}
+	sp := graph.Dijkstra(g, n.cfg.Metric, w, self, nil, -1)
+	table := make(map[int64]Route)
+	for x := int32(0); int(x) < g.N(); x++ {
+		if x == self || !sp.Reachable(x) {
+			continue
+		}
+		path := sp.PathTo(x)
+		if len(path) < 2 {
+			continue
+		}
+		table[int64(g.ID(x))] = Route{
+			NextHop: int64(g.ID(path[1])),
+			Value:   sp.Dist[x],
+			Hops:    len(path) - 1,
+		}
+	}
+	return table, nil
+}

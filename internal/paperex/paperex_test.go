@@ -1,0 +1,219 @@
+package paperex
+
+import (
+	"testing"
+
+	"qolsr/internal/graph"
+	"qolsr/internal/metric"
+)
+
+func weightsOf(t *testing.T, f *Fixture) []float64 {
+	t.Helper()
+	w, err := f.G.Weights(Channel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func linkWeight(t *testing.T, f *Fixture, a, b string) float64 {
+	t.Helper()
+	e, ok := f.G.EdgeBetween(f.Node(a), f.Node(b))
+	if !ok {
+		t.Fatalf("missing edge %s-%s", a, b)
+	}
+	return weightsOf(t, f)[e]
+}
+
+func directWeight(t *testing.T, f *Fixture, x int32) float64 {
+	t.Helper()
+	e, ok := f.G.EdgeBetween(f.Node("u"), x)
+	if !ok {
+		t.Fatalf("no direct link u-%s", f.G.Label(x))
+	}
+	return weightsOf(t, f)[e]
+}
+
+func TestFixturesAreValidGraphs(t *testing.T) {
+	for name, f := range map[string]*Fixture{
+		"fig1": Figure1(), "fig2": Figure2(), "fig4": Figure4(), "fig5": Figure5(),
+	} {
+		if err := f.G.Validate(); err != nil {
+			t.Errorf("%s: invalid graph: %v", name, err)
+		}
+		if !graph.Connected(f.G) {
+			t.Errorf("%s: fixture not connected", name)
+		}
+		for nm, idx := range f.Nodes {
+			if f.G.Label(idx) != nm {
+				t.Errorf("%s: label of %q = %q", name, nm, f.G.Label(idx))
+			}
+			if f.Node(nm) != idx {
+				t.Errorf("%s: Node(%q) inconsistent", name, nm)
+			}
+		}
+	}
+}
+
+func TestNodePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown node name did not panic")
+		}
+	}()
+	Figure1().Node("nope")
+}
+
+// Figure 1's stated facts: route via v2 bottlenecks at 6; the ring path
+// v1-v6-v5-v4-v3 carries 10 and is the widest.
+func TestFigure1Facts(t *testing.T) {
+	f := Figure1()
+	m := metric.Bandwidth()
+	w := weightsOf(t, f)
+	v1, v3 := f.Node("v1"), f.Node("v3")
+	sp := graph.Dijkstra(f.G, m, w, v1, nil, -1)
+	if sp.Dist[v3] != 10 {
+		t.Errorf("widest v1->v3 = %v, want 10", sp.Dist[v3])
+	}
+	path := sp.PathTo(v3)
+	if len(path) != 5 {
+		t.Errorf("widest path = %d nodes, want 5 (the ring way)", len(path))
+	}
+	viaV2 := metric.PathValue(m, []float64{
+		linkWeight(t, f, "v1", "v2"), linkWeight(t, f, "v2", "v3"),
+	})
+	if viaV2 != 6 {
+		t.Errorf("v1-v2-v3 value = %v, want 6", viaV2)
+	}
+}
+
+// Figure 2's stated facts, one by one (Sec. III of the paper).
+func TestFigure2Facts(t *testing.T) {
+	f := Figure2()
+	m := metric.Bandwidth()
+	w := weightsOf(t, f)
+	u := f.Node("u")
+
+	if linkWeight(t, f, "u", "v1") != linkWeight(t, f, "u", "v2") {
+		t.Error("BW(u,v1) != BW(u,v2)")
+	}
+	if !(linkWeight(t, f, "u", "v5") < linkWeight(t, f, "u", "v1")) {
+		t.Error("BW(u,v5) not < BW(u,v1)")
+	}
+	if linkWeight(t, f, "u", "v4") != 3 {
+		t.Error("direct u-v4 must be 3")
+	}
+	if !(linkWeight(t, f, "u", "v6") > linkWeight(t, f, "u", "v2")) {
+		t.Error("BW(u,v6) not > BW(u,v2)")
+	}
+
+	lv := graph.NewLocalView(f.G, u)
+	fh, err := graph.ComputeFirstHops(lv, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PBW(u,v3) has value 4 with first hops {v1, v2}.
+	v3 := f.Node("v3")
+	if fh.Dist[v3] != 4 {
+		t.Errorf("B̃W(u,v3) = %v, want 4", fh.Dist[v3])
+	}
+	members := fh.Members(v3)
+	if len(members) != 2 || members[0] != f.Node("v1") || members[1] != f.Node("v2") {
+		t.Errorf("fP(u,v3) = %v, want {v1,v2}", members)
+	}
+	// u v1 v5 v4 achieves 5 > direct 3.
+	v4 := f.Node("v4")
+	if fh.Dist[v4] != 5 {
+		t.Errorf("B̃W(u,v4) = %v, want 5", fh.Dist[v4])
+	}
+	if got := fh.Members(v4); len(got) != 1 || got[0] != f.Node("v1") {
+		t.Errorf("fP(u,v4) = %v, want {v1}", got)
+	}
+	// Direct link u-v7 is optimal.
+	v7 := f.Node("v7")
+	if !fh.Contains(v7, lv.N1Index(v7)) {
+		t.Error("direct u-v7 not optimal")
+	}
+	// fP(u,v11) ⊇ {v2, v6} and the ≺-best member is v6 (the paper: "u
+	// will choose v6 instead of v2 ... better bandwidth"). Exact equality
+	// fP = {v2,v6} cannot coexist with the v3 facts under bottleneck
+	// ties; see the fixture's doc comment.
+	v11 := f.Node("v11")
+	hasV2, hasV6 := false, false
+	best := int32(-1)
+	for _, x := range fh.Members(v11) {
+		if x == f.Node("v2") {
+			hasV2 = true
+		}
+		if x == f.Node("v6") {
+			hasV6 = true
+		}
+		if best < 0 || directWeight(t, f, x) > directWeight(t, f, best) {
+			best = x
+		}
+	}
+	if !hasV2 || !hasV6 {
+		t.Errorf("fP(u,v11) = %v, must contain v2 and v6", fh.Members(v11))
+	}
+	if best != f.Node("v6") {
+		t.Errorf("≺-best member of fP(u,v11) = %v, want v6", f.G.Label(best))
+	}
+	// fP(u,v10) contains v1 and v5 (plus tie-chains; see fixture docs).
+	v10 := f.Node("v10")
+	hasV1, hasV5 := false, false
+	for _, x := range fh.Members(v10) {
+		if x == f.Node("v1") {
+			hasV1 = true
+		}
+		if x == f.Node("v5") {
+			hasV5 = true
+		}
+	}
+	if !hasV1 || !hasV5 {
+		t.Errorf("fP(u,v10) = %v, must contain v1 and v5", fh.Members(v10))
+	}
+}
+
+// The (v8,v9) link is between two 2-hop neighbors and therefore invisible in
+// G_u, which is the paper's localization-limit argument.
+func TestFigure2HiddenLink(t *testing.T) {
+	f := Figure2()
+	lv := graph.NewLocalView(f.G, f.Node("u"))
+	if lv.Role(f.Node("v8")) != graph.RoleTwoHop || lv.Role(f.Node("v9")) != graph.RoleTwoHop {
+		t.Fatal("v8/v9 must be 2-hop neighbors")
+	}
+	if lv.HasViewEdge(f.Node("v8"), f.Node("v9")) {
+		t.Error("link (v8,v9) visible in G_u")
+	}
+}
+
+// Figure 4's stated facts: D-E is limiting (weight 1), every optimal path
+// A->E bottlenecks at 1, and w(A,D) > w(A,B) so max≺ prefers D.
+func TestFigure4Facts(t *testing.T) {
+	f := Figure4()
+	m := metric.Bandwidth()
+	w := weightsOf(t, f)
+	if linkWeight(t, f, "D", "E") != 1 {
+		t.Error("last link D-E must be the limiting weight 1")
+	}
+	if !(linkWeight(t, f, "A", "D") > linkWeight(t, f, "A", "B")) {
+		t.Error("w(A,D) must exceed w(A,B) for max≺ to pick D")
+	}
+	lv := graph.NewLocalView(f.G, f.Node("A"))
+	fh, err := graph.ComputeFirstHops(lv, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	E := f.Node("E")
+	if fh.Dist[E] != 1 {
+		t.Errorf("B̃W(A,E) = %v, want 1", fh.Dist[E])
+	}
+	got := fh.Members(E)
+	if len(got) != 2 || got[0] != f.Node("B") || got[1] != f.Node("D") {
+		t.Errorf("fP(A,E) = %v, want {B,D}", got)
+	}
+	// E's only neighbor is D.
+	if f.G.Degree(E) != 1 {
+		t.Error("E must have D as its only access")
+	}
+}

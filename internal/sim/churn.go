@@ -1,0 +1,42 @@
+package sim
+
+import "fmt"
+
+// Link churn support: the medium can take physical links down and bring
+// them back, so tests and experiments can watch the protocol expire state
+// and reconverge — the MANET behaviour OLSR's soft-state timers exist for.
+
+// FailLink takes the physical link {a,b} down: no further deliveries cross
+// it and the endpoints stop measuring it, so their neighbor entries expire
+// after the hold time.
+func (nw *Network) FailLink(a, b int32) error {
+	if _, ok := nw.Phys.EdgeBetween(a, b); !ok {
+		return fmt.Errorf("sim: no physical link %d-%d", a, b)
+	}
+	if nw.down == nil {
+		nw.down = make(map[[2]int32]bool)
+	}
+	nw.down[linkKey(a, b)] = true
+	return nil
+}
+
+// RestoreLink brings a failed link back.
+func (nw *Network) RestoreLink(a, b int32) error {
+	if _, ok := nw.Phys.EdgeBetween(a, b); !ok {
+		return fmt.Errorf("sim: no physical link %d-%d", a, b)
+	}
+	delete(nw.down, linkKey(a, b))
+	return nil
+}
+
+// LinkUp reports whether the physical link {a,b} is currently usable.
+func (nw *Network) LinkUp(a, b int32) bool {
+	return !nw.down[linkKey(a, b)]
+}
+
+func linkKey(a, b int32) [2]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int32{a, b}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"qolsr/internal/graph"
+	"qolsr/internal/metric"
+	"qolsr/internal/olsr"
+)
+
+// lineNetwork builds a 4-node line 0-1-2-3 with known weights.
+func lineNetwork(t *testing.T) *Network {
+	t.Helper()
+	g := graph.New(4)
+	for i := int32(0); i < 3; i++ {
+		e := g.MustAddEdge(i, i+1)
+		if err := g.SetWeight("bandwidth", e, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := olsr.DefaultConfig(metric.Bandwidth())
+	nw, err := NewNetwork(g, cfg, NetworkOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestFailLinkValidation(t *testing.T) {
+	nw := lineNetwork(t)
+	if err := nw.FailLink(0, 3); err == nil {
+		t.Error("nonexistent link failed")
+	}
+	if err := nw.RestoreLink(0, 3); err == nil {
+		t.Error("nonexistent link restored")
+	}
+	if !nw.LinkUp(0, 1) {
+		t.Error("fresh link down")
+	}
+	if err := nw.FailLink(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if nw.LinkUp(0, 1) || nw.LinkUp(1, 0) {
+		t.Error("failed link reported up (any orientation)")
+	}
+	if err := nw.RestoreLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !nw.LinkUp(1, 0) {
+		t.Error("restored link reported down")
+	}
+}
+
+// After a mid-path link fails, soft state expires and routes change to use
+// what remains; after restoration the network reconverges to the original
+// routes.
+func TestProtocolReactsToLinkFailure(t *testing.T) {
+	// Square 0-1-2-3-0 so an alternative path exists.
+	g := graph.New(4)
+	for _, ab := range [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		e := g.MustAddEdge(ab[0], ab[1])
+		if err := g.SetWeight("bandwidth", e, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := olsr.DefaultConfig(metric.Bandwidth())
+	nw, err := NewNetwork(g, cfg, NetworkOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Start()
+	nw.Run(25 * time.Second)
+
+	routeTo2 := func() (olsr.Route, bool) {
+		table, err := nw.Nodes[0].RoutingTable(nw.Engine.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, ok := table[2]
+		return r, ok
+	}
+	if _, ok := routeTo2(); !ok {
+		t.Fatal("no initial route 0->2")
+	}
+
+	// Cut both of node 1's links: 0 must reach 2 via 3 only.
+	if err := nw.FailLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.FailLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	nw.Run(nw.Engine.Now() + 30*time.Second)
+	r, ok := routeTo2()
+	if !ok {
+		t.Fatal("no route 0->2 after failure")
+	}
+	if r.NextHop != 3 {
+		t.Errorf("route 0->2 via %d after failure, want 3", r.NextHop)
+	}
+	// Node 1 must have disappeared from 0's neighbor-derived routes.
+	table, err := nw.Nodes[0].RoutingTable(nw.Engine.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1, ok := table[1]; ok && r1.NextHop == 1 {
+		t.Error("0 still routes directly to failed neighbor 1")
+	}
+
+	// Restore: eventually the 2-hop route via 1 or 3 is back and node 1
+	// is a neighbor again.
+	if err := nw.RestoreLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.RestoreLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	nw.Run(nw.Engine.Now() + 30*time.Second)
+	table, err = nw.Nodes[0].RoutingTable(nw.Engine.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1, ok := table[1]; !ok || r1.NextHop != 1 {
+		t.Errorf("restored neighbor 1 not routed directly: %+v ok=%v", table[1], ok)
+	}
+}
+
+// A failed bridge partitions the network: destinations across the bridge
+// disappear from routing tables after expiry.
+func TestPartitionExpiresRemoteState(t *testing.T) {
+	nw := lineNetwork(t)
+	nw.Start()
+	nw.Run(25 * time.Second)
+	table, err := nw.Nodes[0].RoutingTable(nw.Engine.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := table[3]; !ok {
+		t.Fatal("no initial route 0->3")
+	}
+	if err := nw.FailLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	nw.Run(nw.Engine.Now() + 40*time.Second)
+	table, err = nw.Nodes[0].RoutingTable(nw.Engine.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := table[3]; ok {
+		t.Error("route across failed bridge survived expiry")
+	}
+}

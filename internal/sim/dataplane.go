@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"time"
+
+	"qolsr/internal/graph"
+)
+
+// DataStats accounts data-plane traffic injected with SendData.
+type DataStats struct {
+	Sent      uint64
+	Delivered uint64
+	// NoRoute counts packets dropped because some hop had no routing
+	// entry for the destination.
+	NoRoute uint64
+	// Expired counts packets dropped by TTL (forwarding loop or a path
+	// longer than the TTL).
+	Expired uint64
+	// HopsTotal sums hop counts of delivered packets.
+	HopsTotal uint64
+	// LatencyTotal sums virtual delivery latencies.
+	LatencyTotal time.Duration
+}
+
+// DefaultDataTTL bounds data-packet forwarding.
+const DefaultDataTTL = 64
+
+// SendData injects one data packet at src addressed to dst (graph indices)
+// at the current virtual time. Each hop consults its *own* current routing
+// table when the packet arrives — exactly how an OLSR data plane behaves,
+// including transient loops while tables disagree (cut off by TTL). done,
+// when non-nil, is invoked at delivery or drop time.
+func (nw *Network) SendData(src, dst int32, done func(delivered bool, hops int, latency time.Duration)) {
+	nw.Data.Sent++
+	start := nw.Engine.Now()
+	var hop func(at int32, ttl int)
+	hop = func(at int32, ttl int) {
+		if at == dst {
+			nw.Data.Delivered++
+			hops := DefaultDataTTL - ttl
+			nw.Data.HopsTotal += uint64(hops)
+			nw.Data.LatencyTotal += nw.Engine.Now() - start
+			if done != nil {
+				done(true, hops, nw.Engine.Now()-start)
+			}
+			return
+		}
+		if ttl <= 0 {
+			nw.Data.Expired++
+			if done != nil {
+				done(false, 0, 0)
+			}
+			return
+		}
+		table, err := nw.Nodes[at].RoutingTable(nw.Engine.Now())
+		if err != nil {
+			nw.Data.NoRoute++
+			if done != nil {
+				done(false, 0, 0)
+			}
+			return
+		}
+		route, ok := table[int64(nw.Phys.ID(dst))]
+		if !ok {
+			nw.Data.NoRoute++
+			if done != nil {
+				done(false, 0, 0)
+			}
+			return
+		}
+		next := nw.indexOf[route.NextHop]
+		// The unicast hop uses the physical link; if it is gone (united
+		// with mobility/churn) the packet is lost at this hop unless the
+		// next table refresh learns better.
+		if _, exists := nw.Phys.EdgeBetween(at, next); !exists || !nw.LinkUp(at, next) {
+			nw.Data.NoRoute++
+			if done != nil {
+				done(false, 0, 0)
+			}
+			return
+		}
+		nw.Engine.After(nw.propDelay, func() { hop(next, ttl-1) })
+	}
+	hop(src, DefaultDataTTL)
+}
+
+// DeliverySweep sends one packet from every node to dst at the current
+// virtual time and runs the engine until all complete, returning the
+// delivered fraction over physically-connected sources.
+func (nw *Network) DeliverySweep(dst int32) float64 {
+	reach := graph.Reachable(nw.Phys, dst)
+	var delivered, total int
+	pending := 0
+	for s := int32(0); int(s) < nw.Phys.N(); s++ {
+		if s == dst || !reach[s] {
+			continue
+		}
+		total++
+		pending++
+		nw.SendData(s, dst, func(ok bool, _ int, _ time.Duration) {
+			if ok {
+				delivered++
+			}
+			pending--
+		})
+	}
+	// Packets traverse at most TTL hops of propDelay each.
+	nw.Run(nw.Engine.Now() + time.Duration(DefaultDataTTL+1)*nw.propDelay)
+	if total == 0 {
+		return 1
+	}
+	return float64(delivered) / float64(total)
+}

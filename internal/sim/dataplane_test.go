@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"qolsr/internal/geom"
+	"qolsr/internal/metric"
+	"qolsr/internal/olsr"
+)
+
+func TestSendDataDeliversAfterConvergence(t *testing.T) {
+	nw := lineNetwork(t) // 0-1-2-3
+	nw.Start()
+	nw.Run(25 * time.Second)
+
+	var delivered bool
+	var hops int
+	var latency time.Duration
+	nw.SendData(0, 3, func(ok bool, h int, l time.Duration) {
+		delivered, hops, latency = ok, h, l
+	})
+	nw.Run(nw.Engine.Now() + time.Second)
+	if !delivered {
+		t.Fatalf("packet 0->3 not delivered (stats %+v)", nw.Data)
+	}
+	if hops != 3 {
+		t.Errorf("hops = %d, want 3", hops)
+	}
+	if latency <= 0 {
+		t.Errorf("latency = %v", latency)
+	}
+	if nw.Data.Delivered != 1 || nw.Data.Sent != 1 {
+		t.Errorf("stats = %+v", nw.Data)
+	}
+}
+
+func TestSendDataNoRouteBeforeConvergence(t *testing.T) {
+	nw := lineNetwork(t)
+	// No protocol traffic has flowed: no routes exist.
+	var called, delivered bool
+	nw.SendData(0, 3, func(ok bool, _ int, _ time.Duration) {
+		called, delivered = true, ok
+	})
+	nw.Run(time.Second)
+	if !called {
+		t.Fatal("completion callback not invoked")
+	}
+	if delivered {
+		t.Error("packet delivered without routes")
+	}
+	if nw.Data.NoRoute != 1 {
+		t.Errorf("NoRoute = %d, want 1", nw.Data.NoRoute)
+	}
+}
+
+func TestSendDataSelfDelivery(t *testing.T) {
+	nw := lineNetwork(t)
+	var delivered bool
+	nw.SendData(2, 2, func(ok bool, hops int, _ time.Duration) {
+		delivered = ok && hops == 0
+	})
+	nw.Run(time.Second)
+	if !delivered {
+		t.Error("self-addressed packet not delivered in zero hops")
+	}
+}
+
+func TestDeliverySweep(t *testing.T) {
+	nw := lineNetwork(t)
+	nw.Start()
+	nw.Run(25 * time.Second)
+	if ratio := nw.DeliverySweep(0); ratio != 1 {
+		t.Errorf("delivery sweep = %v, want 1 after convergence", ratio)
+	}
+}
+
+// A packet in flight toward a link that fails mid-path is dropped, not
+// teleported.
+func TestSendDataDropsOnFailedLink(t *testing.T) {
+	nw := lineNetwork(t)
+	nw.Start()
+	nw.Run(25 * time.Second)
+	// Fail 2-3 and immediately send 0->3: tables still point through it,
+	// and the hop 2->3 must drop.
+	if err := nw.FailLink(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	var delivered bool
+	nw.SendData(0, 3, func(ok bool, _ int, _ time.Duration) { delivered = ok })
+	nw.Run(nw.Engine.Now() + time.Second)
+	if delivered {
+		t.Error("packet crossed a failed link")
+	}
+	if nw.Data.NoRoute == 0 {
+		t.Error("drop not accounted")
+	}
+}
+
+// Data plane under mobility: after the nodes have been moving for a while,
+// a sweep to a sink still delivers a solid majority of packets.
+func TestDeliverySweepUnderMobility(t *testing.T) {
+	const n = 20
+	model := geom.Waypoint{
+		Field:    geom.Field{Width: 250, Height: 250},
+		MinSpeed: 4,
+		MaxSpeed: 8,
+		Pause:    time.Second,
+	}
+	initial := make([]geom.Point, n)
+	rng := newTestRand(41)
+	for i := range initial {
+		initial[i] = geom.Point{X: rng.Float64() * 250, Y: rng.Float64() * 250}
+	}
+	cfg := olsr.DefaultConfig(metric.Bandwidth())
+	ms, err := NewMobileSim(model, initial, 100, cfg, NetworkOptions{Seed: 9}, time.Second, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.Start()
+	ms.Run(60 * time.Second)
+	if ratio := ms.NW.DeliverySweep(0); ratio < 0.5 {
+		t.Errorf("mobile delivery sweep = %v, want >= 0.5", ratio)
+	}
+}

@@ -1,0 +1,6 @@
+package sim
+
+import "math/rand"
+
+// newTestRand provides seeded randomness for test scaffolding.
+func newTestRand(seed int64) *rand.Rand { return randFromSeed(seed) }

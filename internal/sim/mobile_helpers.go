@@ -1,0 +1,16 @@
+package sim
+
+import (
+	"math/rand"
+
+	"qolsr/internal/metric"
+)
+
+func randFromSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// weightLawForEmpty keeps the weight channel present on edgeless snapshots.
+func weightLawForEmpty() metric.Interval {
+	return metric.DefaultInterval()
+}

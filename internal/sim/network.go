@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"qolsr/internal/graph"
+	"qolsr/internal/olsr"
+)
+
+// TrafficStats accounts control traffic by message type.
+type TrafficStats struct {
+	HelloMessages uint64
+	HelloBytes    uint64
+	TCMessages    uint64 // including MPR re-broadcasts
+	TCBytes       uint64
+	TCOriginated  uint64
+}
+
+// Network runs one OLSR/QOLSR protocol instance per node of a physical
+// graph over the event engine. Messages are serialised through the wire
+// codec on transmission (so byte accounting reflects real TC sizes, which
+// scale with the advertised-set sizes of Figs. 6-7) and decoded at every
+// receiver.
+type Network struct {
+	Engine *Engine
+	Phys   *graph.Graph
+	Nodes  []*olsr.Node
+	Stats  TrafficStats
+	// Data accounts data-plane packets injected with SendData.
+	Data DataStats
+
+	cfg       olsr.Config
+	channel   string
+	propDelay time.Duration
+	rng       *rand.Rand
+	indexOf   map[int64]int32
+	down      map[[2]int32]bool // failed physical links (see churn.go)
+}
+
+// NetworkOptions tunes the simulation harness.
+type NetworkOptions struct {
+	// PropDelay is the radio propagation+processing delay per hop
+	// (default 1ms).
+	PropDelay time.Duration
+	// Seed drives emission jitter.
+	Seed int64
+}
+
+// NewNetwork builds a protocol network over the physical graph. Link QoS
+// weights come from the graph channel named after cfg.Metric.
+func NewNetwork(phys *graph.Graph, cfg olsr.Config, opts NetworkOptions) (*Network, error) {
+	channel := cfg.Metric.Name()
+	if _, err := phys.Weights(channel); err != nil {
+		return nil, err
+	}
+	nw := &Network{
+		Engine:    &Engine{},
+		Phys:      phys,
+		cfg:       cfg,
+		channel:   channel,
+		propDelay: opts.PropDelay,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		indexOf:   make(map[int64]int32, phys.N()),
+	}
+	if nw.propDelay <= 0 {
+		nw.propDelay = time.Millisecond
+	}
+	for x := int32(0); int(x) < phys.N(); x++ {
+		node, err := olsr.NewNode(int64(phys.ID(x)), cfg)
+		if err != nil {
+			return nil, err
+		}
+		nw.Nodes = append(nw.Nodes, node)
+		nw.indexOf[int64(phys.ID(x))] = x
+	}
+	return nw, nil
+}
+
+// Start schedules the initial link measurements and the periodic HELLO/TC
+// emissions with per-node jitter, then the network is ready to Run.
+func (nw *Network) Start() {
+	for i := range nw.Nodes {
+		i := i
+		nw.feedLinks(i)
+		helloJitter := time.Duration(nw.rng.Int63n(int64(nw.cfg.HelloInterval)))
+		tcJitter := nw.cfg.HelloInterval + time.Duration(nw.rng.Int63n(int64(nw.cfg.TCInterval)))
+		nw.Engine.At(helloJitter, func() { nw.emitHello(i) })
+		nw.Engine.At(tcJitter, func() { nw.emitTC(i) })
+	}
+}
+
+// Run advances virtual time.
+func (nw *Network) Run(until time.Duration) { nw.Engine.Run(until) }
+
+// feedLinks refreshes a node's own link measurements from the physical
+// graph — the out-of-scope QoS metric layer of the paper.
+func (nw *Network) feedLinks(i int) {
+	w, _ := nw.Phys.Weights(nw.channel)
+	x := int32(i)
+	now := nw.Engine.Now()
+	for _, arc := range nw.Phys.Arcs(x) {
+		if !nw.LinkUp(x, arc.To) {
+			continue
+		}
+		nw.Nodes[i].UpdateLink(int64(nw.Phys.ID(arc.To)), w[arc.Edge], now)
+	}
+}
+
+func (nw *Network) emitHello(i int) {
+	nw.feedLinks(i)
+	h := nw.Nodes[i].GenerateHello(nw.Engine.Now())
+	buf := olsr.MarshalHello(h)
+	nw.Stats.HelloMessages++
+	nw.Stats.HelloBytes += uint64(len(buf))
+	nw.broadcast(int32(i), buf)
+	nw.Engine.After(nw.jittered(nw.cfg.HelloInterval), func() { nw.emitHello(i) })
+}
+
+func (nw *Network) emitTC(i int) {
+	if tc := nw.Nodes[i].GenerateTC(nw.Engine.Now()); tc != nil {
+		buf := olsr.MarshalTC(tc)
+		nw.Stats.TCOriginated++
+		nw.Stats.TCMessages++
+		nw.Stats.TCBytes += uint64(len(buf))
+		nw.broadcast(int32(i), buf)
+	}
+	nw.Engine.After(nw.jittered(nw.cfg.TCInterval), func() { nw.emitTC(i) })
+}
+
+// jittered applies ±5% emission jitter (RFC 3626 recommends jitter to avoid
+// synchronisation).
+func (nw *Network) jittered(d time.Duration) time.Duration {
+	span := int64(d) / 10
+	if span <= 0 {
+		return d
+	}
+	return d - time.Duration(span/2) + time.Duration(nw.rng.Int63n(span))
+}
+
+// broadcast delivers an encoded message to every physical neighbor of the
+// sender after the propagation delay — the ideal MAC. Failed links carry
+// nothing.
+func (nw *Network) broadcast(from int32, buf []byte) {
+	for _, arc := range nw.Phys.Arcs(from) {
+		to := arc.To
+		if !nw.LinkUp(from, to) {
+			continue
+		}
+		nw.Engine.After(nw.propDelay, func() { nw.deliver(from, to, buf) })
+	}
+}
+
+func (nw *Network) deliver(from, to int32, buf []byte) {
+	t, err := olsr.PeekType(buf)
+	if err != nil {
+		return
+	}
+	now := nw.Engine.Now()
+	node := nw.Nodes[to]
+	switch t {
+	case olsr.MsgHello:
+		h, err := olsr.UnmarshalHello(buf)
+		if err != nil {
+			return
+		}
+		node.HandleHello(h, now)
+	case olsr.MsgTC:
+		tc, err := olsr.UnmarshalTC(buf)
+		if err != nil {
+			return
+		}
+		if node.HandleTC(tc, int64(nw.Phys.ID(from)), now) {
+			// MPR forwarding: re-broadcast from this node.
+			nw.Stats.TCMessages++
+			nw.Stats.TCBytes += uint64(len(buf))
+			nw.broadcast(to, buf)
+		}
+	}
+}
+
+// ANSSets returns every node's current advertised set as graph indices,
+// suitable for route.BuildAdvertised.
+func (nw *Network) ANSSets() ([][]int32, error) {
+	sets := make([][]int32, len(nw.Nodes))
+	now := nw.Engine.Now()
+	for i, n := range nw.Nodes {
+		for _, id := range n.ANS(now) {
+			idx, ok := nw.indexOf[id]
+			if !ok {
+				return nil, fmt.Errorf("sim: node %d advertises unknown id %d", n.ID, id)
+			}
+			sets[i] = append(sets[i], idx)
+		}
+	}
+	return sets, nil
+}
+
+// ControlBytesPerSecond reports the average control traffic rate over the
+// elapsed virtual time.
+func (nw *Network) ControlBytesPerSecond() float64 {
+	secs := nw.Engine.Now().Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(nw.Stats.HelloBytes+nw.Stats.TCBytes) / secs
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"qolsr/internal/core"
+	"qolsr/internal/graph"
+	"qolsr/internal/metric"
+	"qolsr/internal/netgen"
+	"qolsr/internal/olsr"
+	"qolsr/internal/route"
+
+	"qolsr/internal/geom"
+)
+
+func testNetwork(t *testing.T, phys *graph.Graph, m metric.Metric) *Network {
+	t.Helper()
+	cfg := olsr.DefaultConfig(m)
+	nw, err := NewNetwork(phys, cfg, NetworkOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func smallWorld(t *testing.T, seed int64, degree float64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	dep := geom.Deployment{Field: geom.Field{Width: 300, Height: 300}, Radius: 100, Degree: degree}
+	g, err := netgen.Build(dep, "bandwidth", metric.DefaultInterval(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// The central integration test: after enough protocol rounds, every node's
+// distributed ANS equals the offline FNBP selection on the true topology.
+func TestProtocolConvergesToOfflineSelection(t *testing.T) {
+	m := metric.Bandwidth()
+	g := smallWorld(t, 11, 8)
+	nw := testNetwork(t, g, m)
+	nw.Start()
+	nw.Run(30 * time.Second)
+
+	w, err := g.Weights(m.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := nw.ANSSets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); int(u) < g.N(); u++ {
+		view := graph.NewLocalView(g, u)
+		want, err := core.FNBP{}.Select(view, m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = []int32{}
+		}
+		got := sets[u]
+		if got == nil {
+			got = []int32{}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("node %d: distributed ANS %v != offline %v", u, got, want)
+		}
+	}
+}
+
+// Routing tables computed from flooded TCs must reach every node of the
+// connected component with loop-free next hops.
+func TestProtocolRoutingReachability(t *testing.T) {
+	m := metric.Bandwidth()
+	g := smallWorld(t, 13, 8)
+	nw := testNetwork(t, g, m)
+	nw.Start()
+	nw.Run(60 * time.Second)
+
+	now := nw.Engine.Now()
+	reach := graph.Reachable(g, 0)
+	table, err := nw.Nodes[0].RoutingTable(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 1; x < g.N(); x++ {
+		if !reach[x] {
+			continue
+		}
+		if _, ok := table[int64(g.ID(int32(x)))]; !ok {
+			t.Errorf("node 0 has no route to reachable node %d", x)
+		}
+	}
+
+	// Hop-by-hop forwarding over per-node routing tables must deliver
+	// without loops.
+	tables := make([]map[int64]olsr.Route, g.N())
+	for i := range nw.Nodes {
+		tbl, err := nw.Nodes[i].RoutingTable(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables[i] = tbl
+	}
+	idx := func(id int64) int32 { return g.IndexOf(graph.NodeID(id)) }
+	delivered := 0
+	for dst := 1; dst < g.N() && dst < 12; dst++ {
+		if !reach[dst] {
+			continue
+		}
+		next := func(at, target int32) int32 {
+			r, ok := tables[at][int64(g.ID(target))]
+			if !ok {
+				return -1
+			}
+			return idx(r.NextHop)
+		}
+		if _, ok := route.Forward(next, 0, int32(dst), g.N()+1); ok {
+			delivered++
+		} else {
+			t.Errorf("forwarding 0 -> %d failed", dst)
+		}
+	}
+	if delivered == 0 {
+		t.Error("no destinations delivered")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	m := metric.Bandwidth()
+	g := smallWorld(t, 17, 6)
+	nw := testNetwork(t, g, m)
+	nw.Start()
+	nw.Run(20 * time.Second)
+	if nw.Stats.HelloMessages == 0 || nw.Stats.HelloBytes == 0 {
+		t.Error("no hello traffic accounted")
+	}
+	if nw.Stats.TCOriginated == 0 {
+		t.Error("no TCs originated")
+	}
+	if nw.Stats.TCMessages < nw.Stats.TCOriginated {
+		t.Error("forwarded TC count below originated count")
+	}
+	if nw.ControlBytesPerSecond() <= 0 {
+		t.Error("control rate not positive")
+	}
+}
+
+// TC sizes on the wire scale with the advertised-set size, which ties the
+// control-overhead experiment (A4) to Figs. 6-7: QOLSR's bigger sets must
+// cost more TC bytes than FNBP's.
+func TestTCBytesReflectSelectorSize(t *testing.T) {
+	m := metric.Bandwidth()
+	g := smallWorld(t, 19, 10)
+
+	run := func(sel core.Selector) uint64 {
+		cfg := olsr.DefaultConfig(m)
+		cfg.Selector = sel
+		nw, err := NewNetwork(g, cfg, NetworkOptions{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.Start()
+		nw.Run(40 * time.Second)
+		return nw.Stats.TCBytes
+	}
+	fnbp := run(core.FNBP{})
+	full := run(core.FullAdvertise{})
+	if fnbp >= full {
+		t.Errorf("TC bytes: fnbp=%d >= full=%d", fnbp, full)
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	g := graph.New(2) // no weight channel
+	cfg := olsr.DefaultConfig(metric.Bandwidth())
+	if _, err := NewNetwork(g, cfg, NetworkOptions{}); err == nil {
+		t.Error("missing weight channel accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(3*time.Second, func() { order = append(order, 3) })
+	e.At(1*time.Second, func() { order = append(order, 1) })
+	e.At(2*time.Second, func() { order = append(order, 2) })
+	// Equal times: scheduling order.
+	e.At(2*time.Second, func() { order = append(order, 22) })
+	n := e.Run(10 * time.Second)
+	if n != 4 {
+		t.Errorf("processed = %d", n)
+	}
+	want := []int{1, 2, 22, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 10*time.Second {
+		t.Errorf("Now = %v, want 10s", e.Now())
+	}
+}
+
+func TestEngineRunBoundary(t *testing.T) {
+	var e Engine
+	ran := false
+	e.At(5*time.Second, func() { ran = true })
+	e.Run(4 * time.Second)
+	if ran {
+		t.Error("future event executed")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Run(5 * time.Second)
+	if !ran {
+		t.Error("due event not executed")
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var e Engine
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(time.Second, tick)
+		}
+	}
+	e.After(time.Second, tick)
+	e.Run(time.Minute)
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if e.Now() != time.Minute {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestEnginePastEventClamped(t *testing.T) {
+	var e Engine
+	e.At(2*time.Second, func() {
+		e.At(time.Second, func() {}) // in the past: clamped to now
+	})
+	e.Run(10 * time.Second)
+	if e.Executed != 2 {
+		t.Errorf("Executed = %d, want 2", e.Executed)
+	}
+}

@@ -1,0 +1,113 @@
+// Package stats provides the small statistical toolkit used by the
+// evaluation harness: streaming mean/variance accumulators with normal
+// confidence intervals, as the paper averages every data point over 100
+// independent runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accumulator aggregates observations in one pass (Welford's algorithm).
+// The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (NaN when empty).
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.mean
+}
+
+// Variance returns the unbiased sample variance (NaN for n < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return math.NaN()
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the sample standard deviation (NaN for n < 2).
+func (a *Accumulator) Std() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest observation (NaN when empty).
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.min
+}
+
+// Max returns the largest observation (NaN when empty).
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.max
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean (0 for n < 2).
+func (a *Accumulator) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return 1.96 * a.Std() / math.Sqrt(float64(a.n))
+}
+
+// String implements fmt.Stringer.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("mean=%.4g ±%.2g (n=%d)", a.Mean(), a.CI95(), a.n)
+}
+
+// Merge folds the observations of b into a as if they had been Added
+// directly (Chan et al. parallel combination).
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	delta := b.mean - a.mean
+	total := float64(a.n + b.n)
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/total
+	a.mean += delta * float64(b.n) / total
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n += b.n
+}

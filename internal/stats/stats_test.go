@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if !math.IsNaN(a.Mean()) || !math.IsNaN(a.Min()) || !math.IsNaN(a.Max()) {
+		t.Error("empty accumulator must return NaN")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if a.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if math.Abs(a.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", a.Variance(), 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if a.CI95() <= 0 {
+		t.Error("CI95 must be positive for n >= 2")
+	}
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Add(3)
+	if a.Mean() != 3 || a.Min() != 3 || a.Max() != 3 {
+		t.Error("single observation stats wrong")
+	}
+	if !math.IsNaN(a.Variance()) {
+		t.Error("variance of one observation must be NaN")
+	}
+	if a.CI95() != 0 {
+		t.Error("CI95 of one observation must be 0")
+	}
+}
+
+// Property: Merge(a,b) equals adding all observations to one accumulator.
+func TestMergeEquivalence(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		for i, x := range xs {
+			// Clamp to a sane magnitude: astronomically large inputs
+			// overflow any sum-of-squares accumulator and are not
+			// representative of measured set sizes or overheads.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				xs[i] = float64(i)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		k := int(split) % len(xs)
+		var left, right, all Accumulator
+		for _, x := range xs[:k] {
+			left.Add(x)
+			all.Add(x)
+		}
+		for _, x := range xs[k:] {
+			right.Add(x)
+			all.Add(x)
+		}
+		left.Merge(&right)
+		if left.N() != all.N() {
+			return false
+		}
+		if math.Abs(left.Mean()-all.Mean()) > 1e-9*(1+math.Abs(all.Mean())) {
+			return false
+		}
+		if all.N() >= 2 && math.Abs(left.Variance()-all.Variance()) > 1e-6*(1+all.Variance()) {
+			return false
+		}
+		return left.Min() == all.Min() && left.Max() == all.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeEmptySides(t *testing.T) {
+	var a, b Accumulator
+	a.Add(1)
+	a.Add(3)
+	before := a.Mean()
+	a.Merge(&b) // empty b: no-op
+	if a.Mean() != before || a.N() != 2 {
+		t.Error("merging empty changed accumulator")
+	}
+	b.Merge(&a) // empty receiver adopts a
+	if b.N() != 2 || b.Mean() != before {
+		t.Error("empty receiver did not adopt source")
+	}
+}
+
+func TestCIShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var small, large Accumulator
+	for i := 0; i < 30; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 3000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("CI did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}

@@ -1,0 +1,278 @@
+package qolsr
+
+import (
+	"math/rand"
+
+	"qolsr/internal/core"
+	"qolsr/internal/eval"
+	"qolsr/internal/geom"
+	"qolsr/internal/graph"
+	"qolsr/internal/metric"
+	"qolsr/internal/mpr"
+	"qolsr/internal/netgen"
+	"qolsr/internal/olsr"
+	"qolsr/internal/route"
+	"qolsr/internal/sim"
+)
+
+// Graph substrate.
+type (
+	// Graph is an undirected graph with multi-channel edge weights.
+	Graph = graph.Graph
+	// NodeID is a node's external identifier, used by the selection
+	// tie-breaks.
+	NodeID = graph.NodeID
+	// LocalView is the two-hop partial topology G_u a node operates on.
+	LocalView = graph.LocalView
+	// FirstHops holds optimal path values and fP(u,v) first-hop sets.
+	FirstHops = graph.FirstHops
+	// ShortestPaths is a Dijkstra result.
+	ShortestPaths = graph.ShortestPaths
+	// DOTOptions controls Graphviz rendering.
+	DOTOptions = graph.DOTOptions
+)
+
+// NewGraph returns a graph of n isolated nodes with sequential IDs.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewGraphWithIDs returns a graph whose nodes carry the given unique IDs.
+func NewGraphWithIDs(ids []NodeID) (*Graph, error) { return graph.NewWithIDs(ids) }
+
+// NewLocalView computes the two-hop local view of u in g.
+func NewLocalView(g *Graph, u int32) *LocalView { return graph.NewLocalView(g, u) }
+
+// Dijkstra computes optimal path values from src under m (see
+// graph.Dijkstra for the view/exclude semantics).
+func Dijkstra(g *Graph, m Metric, w []float64, src int32, view *LocalView, exclude int32) *ShortestPaths {
+	return graph.Dijkstra(g, m, w, src, view, exclude)
+}
+
+// ComputeFirstHops computes B̃W/D̃ values and fP(u,v) sets for a view.
+func ComputeFirstHops(view *LocalView, m Metric, w []float64) (*FirstHops, error) {
+	return graph.ComputeFirstHops(view, m, w)
+}
+
+// WriteDOT renders g in Graphviz DOT form.
+var WriteDOT = graph.WriteDOT
+
+// Metrics.
+type (
+	// Metric is the QoS metric algebra (additive or concave).
+	Metric = metric.Metric
+	// Interval is the uniform link-weight law.
+	Interval = metric.Interval
+	// Semiring generalises Metric for multi-criterion costs.
+	LexCost = metric.LexCost
+	// Lexicographic combines two metrics, primary deciding.
+	Lexicographic = metric.Lexicographic
+)
+
+// Built-in metrics.
+var (
+	// Bandwidth is the concave bottleneck metric (maximize).
+	Bandwidth = metric.Bandwidth
+	// Delay is the additive metric (minimize).
+	Delay = metric.Delay
+	// Hop counts links.
+	Hop = metric.Hop
+	// Energy is the additive future-work metric.
+	Energy = metric.Energy
+	// MetricByName resolves "bandwidth", "delay", "hop" or "energy".
+	MetricByName = metric.ByName
+	// DefaultInterval is the paper-style weight law (integers 1..10).
+	DefaultInterval = metric.DefaultInterval
+)
+
+// Deployment and network generation.
+type (
+	// Deployment is a Poisson point process deployment.
+	Deployment = geom.Deployment
+	// Field is the deployment area.
+	Field = geom.Field
+	// Point is a node position.
+	Point = geom.Point
+)
+
+var (
+	// PaperDeployment returns the paper's 1000×1000, R=100 deployment at
+	// a target mean degree.
+	PaperDeployment = geom.PaperDeployment
+	// BuildNetwork samples a deployment into a weighted unit-disk graph.
+	BuildNetwork = netgen.Build
+	// NetworkFromPoints builds the weighted unit-disk graph of fixed
+	// positions.
+	NetworkFromPoints = netgen.FromPoints
+	// PickConnectedPair draws a random connected (source, destination).
+	PickConnectedPair = netgen.PickConnectedPair
+)
+
+// Selection algorithms.
+type (
+	// Selector computes a node's advertised neighbor set.
+	Selector = core.Selector
+	// FNBP is the paper's contribution (zero value = paper algorithm).
+	FNBP = core.FNBP
+	// Selection is FNBP's full outcome (ANS + forwarding assignments).
+	Selection = core.Selection
+	// LoopFixMode selects the Fig. 4 rule variant.
+	LoopFixMode = core.LoopFixMode
+	// TopologyFilter is the RNG-filtering QANS baseline.
+	TopologyFilter = core.TopologyFilter
+	// QOLSRAdapter uses an MPR heuristic's set as the advertised set.
+	QOLSRAdapter = core.QOLSRAdapter
+	// FullAdvertise advertises every neighbor (link-state upper bound).
+	FullAdvertise = core.FullAdvertise
+	// MPRHeuristic names an MPR selection rule.
+	MPRHeuristic = mpr.Heuristic
+)
+
+// Loop-fix variants (see core.LoopFixMode).
+const (
+	LoopFixLiteral  = core.LoopFixLiteral
+	LoopFixAdjacent = core.LoopFixAdjacent
+	LoopFixOff      = core.LoopFixOff
+)
+
+// MPR heuristics.
+const (
+	MPRGreedy = mpr.Greedy
+	MPRQOLSR1 = mpr.QOLSR1
+	MPRQOLSR2 = mpr.QOLSR2
+)
+
+var (
+	// SelectorByName resolves "fnbp", "topofilter", "qolsr" or "full".
+	SelectorByName = core.ByName
+	// SelectMPR computes an MPR set for a view.
+	SelectMPR = mpr.Select
+	// VerifyMPRCoverage checks the 2-hop coverage invariant.
+	VerifyMPRCoverage = mpr.VerifyCoverage
+)
+
+// Routing evaluation.
+type (
+	// RoutePolicy selects the routing behaviour over advertised links.
+	RoutePolicy = route.Policy
+	// PairEval is the outcome of routing one pair.
+	PairEval = route.PairEval
+)
+
+// Routing policies.
+const (
+	QoSOptimal    = route.QoSOptimal
+	MinHopThenQoS = route.MinHopThenQoS
+)
+
+var (
+	// BuildAdvertised materialises the network-wide advertised topology.
+	BuildAdvertised = route.BuildAdvertised
+	// EvaluatePair routes one pair and compares with the optimum.
+	EvaluatePair = route.EvaluatePair
+	// Overhead computes the paper's relative regret.
+	Overhead = route.Overhead
+	// Forward walks hop-by-hop next-hop decisions.
+	Forward = route.Forward
+)
+
+// Protocol stack.
+type (
+	// ProtocolConfig parameterises an OLSR/QOLSR node.
+	ProtocolConfig = olsr.Config
+	// ProtocolNode is one protocol state machine.
+	ProtocolNode = olsr.Node
+	// Route is one protocol routing-table entry.
+	Route = olsr.Route
+	// Network runs a protocol instance per node over the event
+	// simulator.
+	Network = sim.Network
+	// NetworkOptions tunes the simulation harness.
+	NetworkOptions = sim.NetworkOptions
+	// TrafficStats accounts control traffic.
+	TrafficStats = sim.TrafficStats
+	// Waypoint is the random-waypoint mobility model.
+	Waypoint = geom.Waypoint
+	// Mobility advances node positions in virtual time.
+	Mobility = geom.Mobility
+	// MobileSim couples the protocol network to a mobility model.
+	MobileSim = sim.MobileSim
+)
+
+var (
+	// DefaultProtocolConfig returns RFC-style timers with FNBP selection.
+	DefaultProtocolConfig = olsr.DefaultConfig
+	// NewProtocolNode creates a protocol node.
+	NewProtocolNode = olsr.NewNode
+	// NewNetwork builds a simulated protocol network.
+	NewNetwork = sim.NewNetwork
+	// NewMobility starts a waypoint mobility population.
+	NewMobility = geom.NewMobility
+	// NewMobileSim deploys protocol nodes under mobility.
+	NewMobileSim = sim.NewMobileSim
+	// PairWeight derives stable per-pair link weights under mobility.
+	PairWeight = sim.PairWeight
+)
+
+// Evaluation harness.
+type (
+	// Figure describes a paper figure to regenerate.
+	Figure = eval.Figure
+	// FigureOptions tunes a figure run.
+	FigureOptions = eval.FigureOptions
+	// FigureResult is a regenerated figure.
+	FigureResult = eval.FigureResult
+	// Scenario is one density point.
+	Scenario = eval.Scenario
+	// PointResult is one density point's outcome.
+	PointResult = eval.PointResult
+	// ProtocolSpec binds a selector to a routing policy.
+	ProtocolSpec = eval.ProtocolSpec
+	// ControlSweepOptions configures the A4 control-traffic experiment.
+	ControlSweepOptions = eval.ControlSweepOptions
+	// ControlSweepResult is RunControlSweep's outcome.
+	ControlSweepResult = eval.ControlSweepResult
+)
+
+var (
+	// PaperFigures returns Figs. 6-9 with the paper's parameters.
+	PaperFigures = eval.PaperFigures
+	// FigureByID resolves "fig6".."fig9".
+	FigureByID = eval.FigureByID
+	// RunFigure regenerates a figure.
+	RunFigure = eval.RunFigure
+	// RunPoint evaluates protocols at one density.
+	RunPoint = eval.RunPoint
+	// PaperProtocols returns the paper's three curves.
+	PaperProtocols = eval.PaperProtocols
+	// LoopFixAblation compares loop-fix variants (A1).
+	LoopFixAblation = eval.LoopFixAblation
+	// LocalLinksAblation measures source-local-link routing (A2).
+	LocalLinksAblation = eval.LocalLinksAblation
+	// RoutingPolicyAblation contrasts QOLSR routing readings (A6).
+	RoutingPolicyAblation = eval.RoutingPolicyAblation
+	// UpperBoundProtocols adds the full link-state bound.
+	UpperBoundProtocols = eval.UpperBoundProtocols
+	// MPRHeuristicAblation compares MPR heuristics as advertised sets.
+	MPRHeuristicAblation = eval.MPRHeuristicAblation
+	// RunControlSweep measures control-plane bytes on the live stack (A4).
+	RunControlSweep = eval.RunControlSweep
+)
+
+// SelectFNBPLex runs FNBP under a lexicographic two-criterion cost, the
+// paper's future-work extension (Sec. V).
+func SelectFNBPLex(view *LocalView, lex Lexicographic, loopFix LoopFixMode) ([]int32, error) {
+	return core.SelectFNBPSemiring[metric.LexCost](view, lex, loopFix)
+}
+
+// DijkstraLex computes lexicographic two-criterion optimal paths from src
+// (e.g. widest, then energy-cheapest). See graph.DijkstraGeneric.
+func DijkstraLex(g *Graph, lex Lexicographic, src int32, view *LocalView, exclude int32) (*LexSearch, error) {
+	return graph.DijkstraGeneric[metric.LexCost](g, lex, src, view, exclude)
+}
+
+// LexSearch is the result of DijkstraLex.
+type LexSearch = graph.GenericSearch[metric.LexCost]
+
+// UniformWeights draws i.i.d. weights from iv onto a graph channel.
+func UniformWeights(g *Graph, channel string, iv Interval, rng *rand.Rand) error {
+	return g.AssignUniformWeights(channel, iv, rng)
+}
