@@ -10,6 +10,7 @@ package qolsr_test
 // plots.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -20,29 +21,62 @@ import (
 )
 
 // benchFigure runs a reduced version of a paper figure once per iteration
-// and reports the last result's series.
+// through the Experiment API and reports the last result's series.
 func benchFigure(b *testing.B, id string) {
 	fig, err := qolsr.FigureByID(id)
 	if err != nil {
 		b.Fatal(err)
 	}
 	// Reduced axis: first, middle, last density.
-	fig.Degrees = []float64{fig.Degrees[0], fig.Degrees[2], fig.Degrees[len(fig.Degrees)-1]}
+	degrees := []float64{fig.Degrees[0], fig.Degrees[2], fig.Degrees[len(fig.Degrees)-1]}
+	exp := qolsr.NewExperiment(fig)
 	var res *qolsr.FigureResult
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err = qolsr.RunFigure(fig, qolsr.FigureOptions{Runs: 3, Seed: int64(i) + 1})
+		out, err := exp.Run(context.Background(),
+			qolsr.WithRuns(3), qolsr.WithSeed(int64(i)+1), qolsr.WithDegrees(degrees...))
 		if err != nil {
 			b.Fatal(err)
 		}
+		res = out.Figures[0]
 	}
 	b.StopTimer()
-	for pi, deg := range fig.Degrees {
+	for pi, deg := range degrees {
 		for _, name := range res.ProtocolNames() {
 			metricName := fmt.Sprintf("%s_d%g", name, deg)
 			b.ReportMetric(res.Value(pi, name), metricName)
 		}
 	}
+}
+
+// BenchmarkSweep measures the parallel point-level runner end to end: a
+// two-figure experiment whose density points and runs share one worker
+// budget. Track this number to catch sweep-throughput regressions.
+func BenchmarkSweep(b *testing.B) {
+	fig6, err := qolsr.FigureByID("fig6")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fig8, err := qolsr.FigureByID("fig8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp := qolsr.NewExperiment(fig6, fig8)
+	var points int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(context.Background(),
+			qolsr.WithRuns(3), qolsr.WithSeed(1), qolsr.WithDegrees(10, 15, 20))
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = 0
+		for _, fr := range res.Figures {
+			points += len(fr.Points)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(points), "points")
 }
 
 // BenchmarkFigure6 regenerates Fig. 6: advertised-set size vs density under
@@ -153,7 +187,7 @@ func BenchmarkAblationLocalLinks(b *testing.B) {
 	var err error
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err = qolsr.RunPoint(sc, qolsr.LocalLinksAblation())
+		res, err = qolsr.RunPoint(context.Background(), sc, qolsr.LocalLinksAblation())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,22 +1,30 @@
 // Command qolsr-sim regenerates the paper's evaluation figures and the
-// repository's ablations from the command line.
+// repository's ablations from the command line, on the parallel streaming
+// Experiment API.
 //
 // Usage:
 //
-//	qolsr-sim -figure fig6            # one figure (fig6..fig9, or "all")
-//	qolsr-sim -figure fig8 -runs 20   # faster, noisier
-//	qolsr-sim -ablation loopfix       # A1: loop-fix variants
-//	qolsr-sim -figure fig6 -csv out.csv
+//	qolsr-sim -figure fig6                  # one sweep (-list shows all)
+//	qolsr-sim -figure all -runs 20          # faster, noisier
+//	qolsr-sim -figure fig8,ablation-mprs    # compose sweeps by name
+//	qolsr-sim -figure fig6 -json -          # machine-readable results
+//	qolsr-sim -ablation control             # A4 on the live protocol stack
 //
-// Tables go to stdout; progress goes to stderr.
+// Tables go to stdout; progress goes to stderr. Ctrl-C cancels the sweep
+// promptly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"qolsr"
 )
@@ -30,94 +38,139 @@ func main() {
 
 func run() error {
 	var (
-		figureID = flag.String("figure", "", "figure to regenerate: fig6, fig7, fig8, fig9 or all")
-		ablation = flag.String("ablation", "", "ablation to run instead: loopfix, locallinks, mprs, policy, upper")
+		figureID = flag.String("figure", "", "comma-separated sweeps to run (see -list), or \"all\" for fig6..fig9")
+		ablation = flag.String("ablation", "", "ablation short form to run instead: loopfix, locallinks, mprs, policy, upper, control")
 		runs     = flag.Int("runs", 100, "independent topologies per density point")
 		seed     = flag.Int64("seed", 1, "base RNG seed")
-		workers  = flag.Int("workers", 0, "run-level parallelism (0 = GOMAXPROCS)")
-		csvPath  = flag.String("csv", "", "also write the result as CSV to this file")
+		workers  = flag.Int("workers", 0, "parallelism budget across points and runs (0 = GOMAXPROCS)")
+		csvPath  = flag.String("csv", "", "also write the result as CSV to this file (\"-\" for stdout)")
+		jsonPath = flag.String("json", "", "also write the result as JSON to this file (\"-\" for stdout)")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		degrees  = flag.String("degrees", "", "override the density axis, e.g. 10,15,20")
+		list     = flag.Bool("list", false, "list composable sweep IDs and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(qolsr.SweepIDs(), "\n"))
+		return nil
+	}
+
+	// Ctrl-C / SIGTERM cancels the sweep; workers stop promptly and the
+	// run reports context.Canceled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	degreeAxis, err := parseDegrees(*degrees)
 	if err != nil {
 		return err
 	}
 
-	opts := qolsr.FigureOptions{Runs: *runs, Seed: *seed, Workers: *workers}
-	if !*quiet {
-		opts.Progress = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
+	opts := []qolsr.Option{
+		qolsr.WithRuns(*runs),
+		qolsr.WithSeed(*seed),
+		qolsr.WithWorkers(*workers),
 	}
+	if degreeAxis != nil {
+		opts = append(opts, qolsr.WithDegrees(degreeAxis...))
+	}
+	if !*quiet {
+		opts = append(opts, qolsr.WithProgress(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}))
+	}
+	r := qolsr.NewRunner(opts...)
 
-	var figures []qolsr.Figure
-	switch {
-	case *ablation == "control":
+	if *ablation == "control" {
 		// A4 runs on the live protocol stack, not the figure harness.
-		res, err := qolsr.RunControlSweep(qolsr.ControlSweepOptions{
-			Runs:    max(1, *runs/20),
-			Seed:    *seed,
-			Degrees: degreeAxis,
-		})
+		res, err := r.ControlSweep(ctx, qolsr.ControlSweepOptions{})
 		if err != nil {
 			return err
 		}
 		return res.WriteTable(os.Stdout)
-	case *ablation != "":
-		fig, err := ablationFigure(*ablation)
-		if err != nil {
-			return err
-		}
-		figures = []qolsr.Figure{fig}
-	case *figureID == "all" || *figureID == "":
-		figures = qolsr.PaperFigures()
-	default:
-		fig, err := qolsr.FigureByID(*figureID)
-		if err != nil {
-			return err
-		}
-		figures = []qolsr.Figure{fig}
-	}
-	if degreeAxis != nil {
-		for i := range figures {
-			figures[i].Degrees = degreeAxis
-		}
 	}
 
-	for _, fig := range figures {
-		res, err := qolsr.RunFigure(fig, opts)
-		if err != nil {
-			return err
+	if *jsonPath == "-" && *csvPath == "-" {
+		return fmt.Errorf("-json - and -csv - cannot share stdout")
+	}
+
+	exp, err := composeExperiment(*figureID, *ablation)
+	if err != nil {
+		return err
+	}
+	res, err := r.Run(ctx, exp)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("sweep canceled")
 		}
-		if err := res.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+
+	// An encoder targeting "-" owns stdout: suppress the human tables so
+	// the stream stays machine-parseable.
+	if *jsonPath != "-" && *csvPath != "-" {
+		if err := res.WriteTables(os.Stdout); err != nil {
 			return err
 		}
 		fmt.Println()
-		if fig.ID == "ablation-loopfix" {
-			if err := res.WriteDeliveryTable(os.Stdout); err != nil {
-				return err
+		for _, fr := range res.Figures {
+			if fr.Figure.ID == "ablation-loopfix" {
+				if err := fr.WriteDeliveryTable(os.Stdout); err != nil {
+					return err
+				}
+				fmt.Println()
 			}
-			fmt.Println()
-		}
-		if *csvPath != "" {
-			f, err := os.Create(*csvPath)
-			if err != nil {
-				return err
-			}
-			werr := res.WriteCSV(f)
-			cerr := f.Close()
-			if werr != nil {
-				return werr
-			}
-			if cerr != nil {
-				return cerr
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
 		}
 	}
+	if *csvPath != "" {
+		if err := writeOut(*csvPath, res.EncodeCSV); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeOut(*jsonPath, res.EncodeJSON); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// composeExperiment builds the experiment from the -figure / -ablation
+// flags: a comma-separated ID list, "all"/empty for the paper figures, or
+// an ablation short form.
+func composeExperiment(figureID, ablation string) (*qolsr.Experiment, error) {
+	switch {
+	case ablation != "":
+		return qolsr.ExperimentByID(ablation)
+	case figureID == "all" || figureID == "":
+		return qolsr.PaperExperiment(), nil
+	default:
+		var ids []string
+		for _, id := range strings.Split(figureID, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+		return qolsr.ExperimentByID(ids...)
+	}
+}
+
+// writeOut encodes to path, with "-" meaning stdout.
+func writeOut(path string, encode func(w io.Writer) error) error {
+	if path == "-" {
+		return encode(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := encode(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return cerr
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return nil
 }
 
@@ -136,48 +189,4 @@ func parseDegrees(s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-// ablationFigure assembles an ablation sweep reusing the paper's density
-// axis.
-func ablationFigure(name string) (qolsr.Figure, error) {
-	base := qolsr.Figure{
-		Metric:  qolsr.Bandwidth(),
-		Degrees: []float64{10, 15, 20, 25, 30, 35},
-	}
-	switch name {
-	case "loopfix":
-		base.ID = "ablation-loopfix"
-		base.Title = "A1: FNBP loop-fix variants (directed-advertisement delivery ratio)"
-		base.Quantity = "directed-delivery"
-		base.Protocols = qolsr.LoopFixAblation()
-	case "loopfix-size":
-		base.ID = "ablation-loopfix-size"
-		base.Title = "A1: FNBP loop-fix variants (advertised-set size)"
-		base.Quantity = "set-size"
-		base.Protocols = qolsr.LoopFixAblation()
-	case "locallinks":
-		base.ID = "ablation-locallinks"
-		base.Title = "A2: overhead with and without the source's local links"
-		base.Quantity = "overhead"
-		base.Protocols = qolsr.LocalLinksAblation()
-	case "mprs":
-		base.ID = "ablation-mprs"
-		base.Title = "MPR heuristics as advertised sets (set size)"
-		base.Quantity = "set-size"
-		base.Protocols = qolsr.MPRHeuristicAblation()
-	case "policy":
-		base.ID = "ablation-policy"
-		base.Title = "A6: QOLSR routing-policy readings (overhead)"
-		base.Quantity = "overhead"
-		base.Protocols = qolsr.RoutingPolicyAblation()
-	case "upper":
-		base.ID = "ablation-upper"
-		base.Title = "Paper protocols + full link-state bound (overhead)"
-		base.Quantity = "overhead"
-		base.Protocols = qolsr.UpperBoundProtocols()
-	default:
-		return qolsr.Figure{}, fmt.Errorf("unknown ablation %q", name)
-	}
-	return base, nil
 }

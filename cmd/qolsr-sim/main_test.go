@@ -18,17 +18,39 @@ func TestParseDegrees(t *testing.T) {
 	}
 }
 
-func TestAblationFigures(t *testing.T) {
+func TestComposeExperiment(t *testing.T) {
+	exp, err := composeExperiment("all", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Figures()) != 4 {
+		t.Errorf("all figures = %d, want 4", len(exp.Figures()))
+	}
+
+	exp, err = composeExperiment("fig8, ablation-mprs", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs := exp.Figures()
+	if len(figs) != 2 || figs[0].ID != "fig8" || figs[1].ID != "ablation-mprs" {
+		t.Errorf("composed IDs wrong: %+v", figs)
+	}
+
+	// Ablation short forms resolve too.
 	for _, name := range []string{"loopfix", "loopfix-size", "locallinks", "mprs", "policy", "upper"} {
-		fig, err := ablationFigure(name)
+		exp, err := composeExperiment("", name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if fig.ID == "" || len(fig.Protocols) < 2 || len(fig.Degrees) == 0 {
-			t.Errorf("%s: incomplete figure %+v", name, fig)
+		figs := exp.Figures()
+		if len(figs) != 1 || figs[0].ID == "" || len(figs[0].Protocols) < 2 || len(figs[0].Degrees) == 0 {
+			t.Errorf("%s: incomplete figure %+v", name, figs)
 		}
 	}
-	if _, err := ablationFigure("nope"); err == nil {
+	if _, err := composeExperiment("", "nope"); err == nil {
 		t.Error("unknown ablation accepted")
+	}
+	if _, err := composeExperiment("fig99", ""); err == nil {
+		t.Error("unknown figure accepted")
 	}
 }

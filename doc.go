@@ -11,19 +11,50 @@
 // advertises far fewer neighbors while keeping routed paths within a few
 // percent of the centralized optimum.
 //
-// This module provides:
+// The package is organised file-per-concern:
 //
-//   - the selection algorithms (FNBP, QOLSR MPR-1/MPR-2, RFC 3626 greedy
-//     MPR, RNG topology filtering), generic over additive (delay-like) and
-//     concave (bandwidth-like) metrics;
-//   - the graph substrate they run on: two-hop local views, generalized
-//     Dijkstra, exact first-hop sets, RNG reduction;
-//   - a full OLSR/QOLSR protocol stack (HELLO/TC, MPR flooding, topology
-//     base, QoS routing tables) over a discrete-event simulator with an
-//     ideal MAC;
-//   - the paper's evaluation harness: Poisson deployments, the
-//     advertised-set-size and QoS-overhead sweeps of Figs. 6-9, and the
-//     worked examples of Figs. 1, 2 and 4 as executable fixtures.
+//   - graph.go — the substrate: multi-channel weighted graphs, two-hop
+//     local views, generalized Dijkstra, fP(u,v) first-hop sets, Poisson
+//     deployments and unit-disk network generation, DOT rendering;
+//   - metrics.go — the QoS metric algebra (bandwidth, delay, hop, energy,
+//     lexicographic combinations) and its name registry;
+//   - selection.go — the selection algorithms (FNBP, QOLSR MPR-1/MPR-2,
+//     RFC 3626 greedy MPR, RNG topology filtering) and their registry;
+//   - protocol.go — routing over advertised topologies and the full
+//     OLSR/QOLSR protocol stack (HELLO/TC, MPR flooding, QoS routing
+//     tables) over a discrete-event simulator, with mobility;
+//   - experiment.go — the Experiment/Runner API regenerating the paper's
+//     evaluation (Figs. 6-9) and the repository's ablations.
+//
+// # Experiments
+//
+// Experiments are composed from figures — by value or by registry name —
+// and executed by a Runner as a cancellable parallel pipeline: density
+// points and the runs inside each point share one worker budget, and
+// completed points stream out while the sweep is in flight.
+//
+//	exp, err := qolsr.ExperimentByID("fig6", "fig8")
+//	res, err := exp.Run(ctx, qolsr.WithRuns(100), qolsr.WithSeed(1),
+//		qolsr.WithWorkers(8), qolsr.WithProgress(log.Printf))
+//	res.WriteTables(os.Stdout)   // the paper's tables
+//	res.EncodeJSON(os.Stdout)    // machine-readable ("qolsr-sweep/v1")
+//	res.EncodeCSV(os.Stdout)     // long-form rows for plotting tools
+//
+// Results are deterministic: every run's RNG stream is derived by a
+// splitmix64 mix of (seed, degree, run), so a fixed seed yields
+// bit-identical output for any WithWorkers value. Cancelling the context
+// stops the pool promptly with ctx.Err().
+//
+// For incremental consumption (live plotting, partial saves), Stream
+// delivers each completed density point as it lands:
+//
+//	events, wait := exp.Stream(ctx, qolsr.WithRuns(100))
+//	for ev := range events {
+//		if ev.Kind == qolsr.EventPoint {
+//			plot(ev.FigureID, ev.Degree, ev.Point)
+//		}
+//	}
+//	res, err := wait()
 //
 // # Quick start
 //
@@ -35,6 +66,5 @@
 //	w, _ := g.Weights("bandwidth")
 //	ans, err := qolsr.FNBP{}.Select(view, qolsr.Bandwidth(), w)
 //
-// See examples/ for runnable programs and DESIGN.md for the system
-// inventory and per-experiment index.
+// See examples/ for runnable programs and cmd/qolsr-sim for the sweep CLI.
 package qolsr

@@ -1,8 +1,10 @@
 // Quickstart: build a random sensor field, run the paper's FNBP selection
-// at one node, and route a packet over the advertised topology.
+// at one node, route a packet over the advertised topology, then sweep a
+// miniature density experiment through the streaming Experiment API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -72,4 +74,23 @@ func main() {
 	}
 	fmt.Printf("route %d -> %d: bandwidth %.1f over %d hops (optimum %.1f, overhead %.1f%%)\n",
 		src, dst, ev.Achieved, ev.Hops, ev.Optimal, 100*ev.Overhead)
+
+	// 5. The same comparison across densities, through the Experiment
+	//    API: a reduced Fig. 6 whose points stream in as they complete.
+	fig, err := qolsr.FigureByID("fig6")
+	if err != nil {
+		log.Fatal(err)
+	}
+	events, wait := qolsr.NewExperiment(fig).Stream(context.Background(),
+		qolsr.WithRuns(3), qolsr.WithSeed(7), qolsr.WithDegrees(8, 12))
+	for ev := range events {
+		if ev.Kind == qolsr.EventPoint {
+			pp := ev.Point.Protocols["fnbp"]
+			fmt.Printf("density %g: fnbp advertises %.2f neighbors/node\n",
+				ev.Degree, pp.SetSize.Mean())
+		}
+	}
+	if _, err := wait(); err != nil {
+		log.Fatal(err)
+	}
 }

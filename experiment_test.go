@@ -1,0 +1,195 @@
+package qolsr_test
+
+// Tests of the Experiment/Runner API: composition by name, streaming,
+// context cancellation, and bit-identical results across worker budgets.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"qolsr"
+)
+
+// tinyExperiment sweeps two low densities of a reduced Fig. 6 — small
+// enough for unit tests, real enough to exercise the parallel pipeline.
+func tinyExperiment(t *testing.T) *qolsr.Experiment {
+	t.Helper()
+	fig, err := qolsr.FigureByID("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qolsr.NewExperiment(fig)
+}
+
+func TestExperimentByID(t *testing.T) {
+	exp, err := qolsr.ExperimentByID("fig6", "ablation-mprs", "policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs := exp.Figures()
+	if len(figs) != 3 || figs[0].ID != "fig6" || figs[1].ID != "ablation-mprs" || figs[2].ID != "ablation-policy" {
+		t.Errorf("composed figures = %+v", figs)
+	}
+	if _, err := qolsr.ExperimentByID("fig6", "nope"); err == nil {
+		t.Error("unknown sweep ID accepted")
+	}
+}
+
+func TestExperimentRunAndEncoders(t *testing.T) {
+	res, err := tinyExperiment(t).Run(context.Background(),
+		qolsr.WithRuns(2), qolsr.WithSeed(9), qolsr.WithDegrees(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Figures) != 1 || len(res.Figures[0].Points) != 2 {
+		t.Fatalf("result shape wrong: %+v", res.Figures)
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := res.EncodeJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": "qolsr-sweep/v1"`, `"id": "fig6"`, `"set-size"`, `"fnbp"`} {
+		if !strings.Contains(jsonBuf.String(), want) {
+			t.Errorf("JSON missing %q:\n%s", want, jsonBuf.String())
+		}
+	}
+	var csvBuf bytes.Buffer
+	if err := res.EncodeCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	// Header + 2 densities × 3 protocols × 1 quantity.
+	if len(lines) != 7 {
+		t.Errorf("CSV lines = %d, want 7:\n%s", len(lines), csvBuf.String())
+	}
+}
+
+func TestExperimentStreamDeliversIncrementally(t *testing.T) {
+	events, wait := tinyExperiment(t).Stream(context.Background(),
+		qolsr.WithRuns(1), qolsr.WithSeed(4), qolsr.WithDegrees(3, 4, 5), qolsr.WithWorkers(3))
+	points, figures := 0, 0
+	for ev := range events {
+		switch ev.Kind {
+		case qolsr.EventPoint:
+			points++
+			if ev.Point == nil {
+				t.Error("point event without point")
+			}
+		case qolsr.EventFigure:
+			figures++
+		}
+	}
+	if points != 3 || figures != 1 {
+		t.Errorf("stream = %d points, %d figures; want 3, 1", points, figures)
+	}
+	res, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Figures[0].Points {
+		if p == nil {
+			t.Errorf("point %d missing from final result", i)
+		}
+	}
+}
+
+// Cancelling mid-sweep must return promptly with ctx.Err().
+func TestExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	exp := tinyExperiment(t)
+	start := time.Now()
+	errCh := make(chan error, 1)
+	go func() {
+		// Enough work (8 points × 200 runs) to be mid-flight when the
+		// cancel lands.
+		_, err := exp.Run(ctx, qolsr.WithRuns(200), qolsr.WithWorkers(2),
+			qolsr.WithDegrees(5, 6, 7, 8, 9, 10, 11, 12))
+		errCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return promptly after cancel")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
+// Same seed, different worker budgets: the encoded JSON must be
+// byte-identical — parallelism only changes wall-clock time.
+func TestExperimentDeterministicAcrossWorkers(t *testing.T) {
+	encode := func(workers int) []byte {
+		res, err := tinyExperiment(t).Run(context.Background(),
+			qolsr.WithRuns(3), qolsr.WithSeed(6), qolsr.WithDegrees(3, 4), qolsr.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := encode(1)
+	for _, workers := range []int{2, 8} {
+		if got := encode(workers); !bytes.Equal(serial, got) {
+			t.Errorf("workers=%d changed the result", workers)
+		}
+	}
+}
+
+func TestRunnerControlSweep(t *testing.T) {
+	r := qolsr.NewRunner(qolsr.WithSeed(3))
+	res, err := r.ControlSweep(context.Background(), qolsr.ControlSweepOptions{
+		Degrees: []float64{6},
+		Runs:    1,
+		SimTime: 10 * time.Second,
+		Field:   qolsr.Field{Width: 300, Height: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || len(res.Points[0]) != 3 {
+		t.Fatalf("control sweep shape wrong")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.ControlSweep(ctx, qolsr.ControlSweepOptions{Degrees: []float64{6}, Runs: 1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled control sweep err = %v", err)
+	}
+}
+
+func TestPublicRegistries(t *testing.T) {
+	for _, name := range []string{"qos-optimal", "minhop-then-qos"} {
+		p, err := qolsr.PolicyByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.String() != name {
+			t.Errorf("%s round-trip = %s", name, p)
+		}
+	}
+	if _, err := qolsr.PolicyByName("bogus"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := qolsr.QuantityByName("overhead"); err != nil {
+		t.Error(err)
+	}
+	if len(qolsr.SweepIDs()) != 10 {
+		t.Errorf("sweep IDs = %v", qolsr.SweepIDs())
+	}
+	if len(qolsr.Ablations()) != 6 {
+		t.Errorf("ablations = %d", len(qolsr.Ablations()))
+	}
+}

@@ -1,0 +1,3 @@
+module qolsr
+
+go 1.24

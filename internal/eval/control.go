@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -68,8 +69,12 @@ func controlSelectors() []core.Selector {
 }
 
 // RunControlSweep measures control-plane cost per selector and density on
-// the live protocol stack.
-func RunControlSweep(opts ControlSweepOptions) (*ControlSweepResult, error) {
+// the live protocol stack. Cancelling ctx stops between simulations and
+// returns ctx.Err().
+func RunControlSweep(ctx context.Context, opts ControlSweepOptions) (*ControlSweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(opts.Degrees) == 0 {
 		opts.Degrees = []float64{5, 10, 15, 20}
 	}
@@ -100,7 +105,8 @@ func RunControlSweep(opts ControlSweepOptions) (*ControlSweepResult, error) {
 			row[si] = &ControlPoint{Degree: deg, Selector: sel.Name()}
 		}
 		for run := 0; run < opts.Runs; run++ {
-			rng := rand.New(rand.NewSource(opts.Seed + int64(run) + int64(deg)*7919))
+			fieldSeed := RunSeed(opts.Seed, deg, run)
+			rng := rand.New(rand.NewSource(fieldSeed))
 			dep := geom.Deployment{Field: opts.Field, Radius: 100, Degree: deg}
 			g, err := netgen.Build(dep, opts.Metric.Name(), metric.DefaultInterval(), rng)
 			if err != nil {
@@ -110,9 +116,14 @@ func RunControlSweep(opts ControlSweepOptions) (*ControlSweepResult, error) {
 				continue
 			}
 			for si, sel := range selectors {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				cfg := olsr.DefaultConfig(opts.Metric)
 				cfg.Selector = sel
-				nw, err := sim.NewNetwork(g, cfg, sim.NetworkOptions{Seed: opts.Seed + int64(run)})
+				// Chain the mix once more for the protocol jitter so the
+				// simulation stream is independent of the field stream.
+				nw, err := sim.NewNetwork(g, cfg, sim.NetworkOptions{Seed: RunSeed(fieldSeed, deg, run)})
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -21,7 +22,7 @@ func smallScenario(m metric.Metric, degree float64, runs int) Scenario {
 
 func TestRunPointBasics(t *testing.T) {
 	sc := smallScenario(metric.Bandwidth(), 10, 4)
-	res, err := RunPoint(sc, PaperProtocols())
+	res, err := RunPoint(context.Background(), sc, PaperProtocols())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,12 +54,12 @@ func TestRunPointBasics(t *testing.T) {
 func TestRunPointDeterministic(t *testing.T) {
 	sc := smallScenario(metric.Delay(), 8, 6)
 	sc.Workers = 1
-	a, err := RunPoint(sc, PaperProtocols())
+	a, err := RunPoint(context.Background(), sc, PaperProtocols())
 	if err != nil {
 		t.Fatal(err)
 	}
 	sc.Workers = 4
-	b, err := RunPoint(sc, PaperProtocols())
+	b, err := RunPoint(context.Background(), sc, PaperProtocols())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,16 +76,16 @@ func TestRunPointDeterministic(t *testing.T) {
 
 func TestRunPointValidation(t *testing.T) {
 	sc := smallScenario(metric.Bandwidth(), 10, 0)
-	if _, err := RunPoint(sc, PaperProtocols()); err == nil {
+	if _, err := RunPoint(context.Background(), sc, PaperProtocols()); err == nil {
 		t.Error("zero runs accepted")
 	}
 	sc = smallScenario(metric.Bandwidth(), 10, 1)
 	sc.WeightInterval = metric.Interval{Lo: 0, Hi: 1}
-	if _, err := RunPoint(sc, PaperProtocols()); err == nil {
+	if _, err := RunPoint(context.Background(), sc, PaperProtocols()); err == nil {
 		t.Error("invalid interval accepted")
 	}
 	sc = smallScenario(metric.Bandwidth(), 0, 1)
-	if _, err := RunPoint(sc, PaperProtocols()); err == nil {
+	if _, err := RunPoint(context.Background(), sc, PaperProtocols()); err == nil {
 		t.Error("invalid deployment accepted")
 	}
 }
@@ -97,7 +98,7 @@ func TestSizeOrderingAtMidDensity(t *testing.T) {
 		t.Skip("multi-run evaluation")
 	}
 	sc := smallScenario(metric.Bandwidth(), 18, 8)
-	res, err := RunPoint(sc, PaperProtocols())
+	res, err := RunPoint(context.Background(), sc, PaperProtocols())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestOverheadOrderingAtMidDensity(t *testing.T) {
 		t.Skip("multi-run evaluation")
 	}
 	sc := smallScenario(metric.Bandwidth(), 18, 8)
-	res, err := RunPoint(sc, PaperProtocols())
+	res, err := RunPoint(context.Background(), sc, PaperProtocols())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,25 @@ func TestPaperFiguresDefinitions(t *testing.T) {
 	}
 }
 
-func TestRunFigureAndWriters(t *testing.T) {
+// runFigureSerial assembles a FigureResult point by point, the way the
+// runner package does in parallel.
+func runFigureSerial(t *testing.T, fig Figure, runs int, seed int64) *FigureResult {
+	t.Helper()
+	res := &FigureResult{Figure: fig, Runs: runs}
+	for _, deg := range fig.Degrees {
+		sc := fig.Scenario(deg, runs, seed, metric.DefaultInterval())
+		// Tests sweep sub-paper densities on a small field for speed.
+		sc.Deployment = geom.Deployment{Field: geom.Field{Width: 400, Height: 400}, Radius: 100, Degree: deg}
+		point, err := RunPoint(context.Background(), sc, fig.Protocols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res
+}
+
+func TestFigureWriters(t *testing.T) {
 	fig := Figure{
 		ID:        "figtest",
 		Title:     "tiny smoke figure",
@@ -163,22 +182,9 @@ func TestRunFigureAndWriters(t *testing.T) {
 		Quantity:  QuantitySetSize,
 		Protocols: PaperProtocols(),
 	}
-	var progress []string
-	res, err := RunFigure(fig, FigureOptions{
-		Runs: 2,
-		Seed: 7,
-		Progress: func(format string, args ...any) {
-			progress = append(progress, format)
-		},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runFigureSerial(t, fig, 2, 7)
 	if len(res.Points) != 2 {
 		t.Fatalf("points = %d", len(res.Points))
-	}
-	if len(progress) != 2 {
-		t.Errorf("progress lines = %d", len(progress))
 	}
 
 	var tbl strings.Builder
@@ -240,7 +246,7 @@ func TestProtocolSpecFactories(t *testing.T) {
 func TestDirectedDeliveryAblation(t *testing.T) {
 	sc := smallScenario(metric.Bandwidth(), 10, 4)
 	sc.MeasureDirectedDelivery = true
-	res, err := RunPoint(sc, LoopFixAblation())
+	res, err := RunPoint(context.Background(), sc, LoopFixAblation())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,8 +265,8 @@ func TestDirectedDeliveryAblation(t *testing.T) {
 }
 
 func TestControlSweep(t *testing.T) {
-	res, err := RunControlSweep(ControlSweepOptions{
-		Degrees: []float64{6},
+	res, err := RunControlSweep(context.Background(), ControlSweepOptions{
+		Degrees: []float64{8},
 		Runs:    1,
 		SimTime: 15 * 1e9, // 15s virtual
 		Seed:    3,
@@ -305,12 +311,66 @@ func TestControlSweep(t *testing.T) {
 
 func TestPointResultSortedNames(t *testing.T) {
 	sc := smallScenario(metric.Bandwidth(), 8, 1)
-	res, err := RunPoint(sc, PaperProtocols())
+	res, err := RunPoint(context.Background(), sc, PaperProtocols())
 	if err != nil {
 		t.Fatal(err)
 	}
 	names := res.SortedProtocolNames()
 	if len(names) != 3 || names[0] != "fnbp" {
 		t.Errorf("sorted names = %v", names)
+	}
+}
+
+func TestRunPointCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := smallScenario(metric.Bandwidth(), 10, 8)
+	if _, err := RunPoint(ctx, sc, PaperProtocols()); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepRegistry(t *testing.T) {
+	if len(Ablations()) != 6 {
+		t.Errorf("ablations = %d", len(Ablations()))
+	}
+	ids := SweepIDs()
+	if len(ids) != 10 {
+		t.Errorf("sweep IDs = %v", ids)
+	}
+	for _, id := range ids {
+		f, err := SweepByID(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if f.ID != id || len(f.Protocols) < 2 || len(f.Degrees) == 0 || f.Metric == nil {
+			t.Errorf("%s: incomplete figure %+v", id, f)
+		}
+	}
+	// Short forms resolve to the prefixed ID.
+	f, err := SweepByID("mprs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "ablation-mprs" {
+		t.Errorf("short form resolved to %q", f.ID)
+	}
+	if _, err := SweepByID("fig99"); err == nil {
+		t.Error("unknown sweep accepted")
+	}
+}
+
+func TestQuantityByName(t *testing.T) {
+	for _, name := range []string{"set-size", "overhead", "delivery", "directed-delivery"} {
+		q, err := QuantityByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if string(q) != name {
+			t.Errorf("%s resolved to %q", name, q)
+		}
+	}
+	if _, err := QuantityByName("bogus"); err == nil {
+		t.Error("unknown quantity accepted")
 	}
 }

@@ -92,18 +92,111 @@ func FigureByID(id string) (Figure, error) {
 	return Figure{}, fmt.Errorf("eval: unknown figure %q (have fig6..fig9)", id)
 }
 
-// FigureOptions tunes a figure run without changing its definition.
-type FigureOptions struct {
-	// Runs overrides the per-point run count (default 100, the paper's).
-	Runs int
-	// Seed is the base RNG seed (default 1).
-	Seed int64
-	// WeightInterval overrides the link weight law (default [1,10]).
-	WeightInterval metric.Interval
-	// Workers bounds run-level parallelism.
-	Workers int
-	// Progress, when non-nil, receives a line per completed density.
-	Progress func(format string, args ...any)
+// QuantityByName resolves a quantity's string form ("set-size", "overhead",
+// "delivery" or "directed-delivery").
+func QuantityByName(name string) (Quantity, error) {
+	switch q := Quantity(name); q {
+	case QuantitySetSize, QuantityOverhead, QuantityDelivery, QuantityDirectedDelivery:
+		return q, nil
+	default:
+		return "", fmt.Errorf("eval: unknown quantity %q", name)
+	}
+}
+
+// Ablations returns the repository's ablation sweeps, composable by ID like
+// the paper figures. Each reuses the bandwidth density axis of Fig. 6.
+func Ablations() []Figure {
+	degrees := []float64{10, 15, 20, 25, 30, 35}
+	return []Figure{
+		{
+			ID:        "ablation-loopfix",
+			Title:     "A1: FNBP loop-fix variants (directed-advertisement delivery ratio)",
+			Metric:    metric.Bandwidth(),
+			Degrees:   degrees,
+			Quantity:  QuantityDirectedDelivery,
+			Protocols: LoopFixAblation(),
+		},
+		{
+			ID:        "ablation-loopfix-size",
+			Title:     "A1: FNBP loop-fix variants (advertised-set size)",
+			Metric:    metric.Bandwidth(),
+			Degrees:   degrees,
+			Quantity:  QuantitySetSize,
+			Protocols: LoopFixAblation(),
+		},
+		{
+			ID:        "ablation-locallinks",
+			Title:     "A2: overhead with and without the source's local links",
+			Metric:    metric.Bandwidth(),
+			Degrees:   degrees,
+			Quantity:  QuantityOverhead,
+			Protocols: LocalLinksAblation(),
+		},
+		{
+			ID:        "ablation-mprs",
+			Title:     "MPR heuristics as advertised sets (set size)",
+			Metric:    metric.Bandwidth(),
+			Degrees:   degrees,
+			Quantity:  QuantitySetSize,
+			Protocols: MPRHeuristicAblation(),
+		},
+		{
+			ID:        "ablation-policy",
+			Title:     "A6: QOLSR routing-policy readings (overhead)",
+			Metric:    metric.Bandwidth(),
+			Degrees:   degrees,
+			Quantity:  QuantityOverhead,
+			Protocols: RoutingPolicyAblation(),
+		},
+		{
+			ID:        "ablation-upper",
+			Title:     "Paper protocols + full link-state bound (overhead)",
+			Metric:    metric.Bandwidth(),
+			Degrees:   degrees,
+			Quantity:  QuantityOverhead,
+			Protocols: UpperBoundProtocols(),
+		},
+	}
+}
+
+// SweepByID resolves a figure or ablation by ID. Ablations also answer to
+// their short form without the "ablation-" prefix ("loopfix", "mprs", ...).
+func SweepByID(id string) (Figure, error) {
+	if f, err := FigureByID(id); err == nil {
+		return f, nil
+	}
+	for _, f := range Ablations() {
+		if f.ID == id || f.ID == "ablation-"+id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("eval: unknown sweep %q (have %s)", id, strings.Join(SweepIDs(), ", "))
+}
+
+// SweepIDs lists every composable sweep ID: the paper figures followed by
+// the ablations.
+func SweepIDs() []string {
+	var ids []string
+	for _, f := range PaperFigures() {
+		ids = append(ids, f.ID)
+	}
+	for _, f := range Ablations() {
+		ids = append(ids, f.ID)
+	}
+	return ids
+}
+
+// Scenario returns the figure's density point at the given degree, ready
+// for RunPoint. Runs, Seed and the weight law come from the caller.
+func (f Figure) Scenario(deg float64, runs int, seed int64, iv metric.Interval) Scenario {
+	return Scenario{
+		Deployment:              geom.PaperDeployment(deg),
+		Metric:                  f.Metric,
+		WeightInterval:          iv,
+		Runs:                    runs,
+		Seed:                    seed,
+		MeasureDirectedDelivery: f.Quantity == QuantityDirectedDelivery,
+	}
 }
 
 // FigureResult is a regenerated figure: one PointResult per density.
@@ -112,45 +205,6 @@ type FigureResult struct {
 	Points []*PointResult
 	// Runs is the per-point run count used.
 	Runs int
-}
-
-// RunFigure regenerates a figure.
-func RunFigure(fig Figure, opts FigureOptions) (*FigureResult, error) {
-	runs := opts.Runs
-	if runs <= 0 {
-		runs = 100
-	}
-	seed := opts.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	iv := opts.WeightInterval
-	if iv == (metric.Interval{}) {
-		iv = metric.DefaultInterval()
-	}
-	res := &FigureResult{Figure: fig, Runs: runs}
-	for _, deg := range fig.Degrees {
-		sc := Scenario{
-			Deployment:     geom.PaperDeployment(deg),
-			Metric:         fig.Metric,
-			WeightInterval: iv,
-			Runs:           runs,
-			// Decorrelate densities while keeping runs reproducible.
-			Seed:                    seed + int64(deg)*100003,
-			Workers:                 opts.Workers,
-			MeasureDirectedDelivery: fig.Quantity == QuantityDirectedDelivery,
-		}
-		point, err := RunPoint(sc, fig.Protocols)
-		if err != nil {
-			return nil, fmt.Errorf("eval: %s degree %g: %w", fig.ID, deg, err)
-		}
-		res.Points = append(res.Points, point)
-		if opts.Progress != nil {
-			opts.Progress("%s density %g done (%d runs, %.0f nodes avg)",
-				fig.ID, deg, runs, point.Nodes.Mean())
-		}
-	}
-	return res, nil
 }
 
 // series extracts the figure's quantity for one protocol at one point.

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -24,8 +25,9 @@ type Scenario struct {
 	WeightInterval metric.Interval
 	// Runs is the number of independent topologies (the paper uses 100).
 	Runs int
-	// Seed derives each run's RNG stream (seed + run index), which is
-	// what makes all protocols see identical topologies and pairs.
+	// Seed derives each run's RNG stream via RunSeed(Seed, Degree, run),
+	// which is what makes all protocols see identical topologies and
+	// pairs while keeping streams independent across runs and densities.
 	Seed int64
 	// PairTries bounds source resampling when hunting for a connected
 	// pair (default 64).
@@ -83,7 +85,15 @@ type runSample struct {
 // link weights and the (source, destination) pair, mirroring the paper's
 // "each approach is run on the same topology with the same source and
 // destination".
-func RunPoint(sc Scenario, protocols []ProtocolSpec) (*PointResult, error) {
+//
+// Cancelling ctx stops the worker pool promptly and returns ctx.Err().
+// Results are bit-identical for a given scenario regardless of Workers:
+// every run draws its RNG stream from RunSeed and samples are merged in run
+// order.
+func RunPoint(ctx context.Context, sc Scenario, protocols []ProtocolSpec) (*PointResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if sc.Runs <= 0 {
 		return nil, fmt.Errorf("eval: Runs must be positive, got %d", sc.Runs)
 	}
@@ -113,15 +123,26 @@ func RunPoint(sc Scenario, protocols []ProtocolSpec) (*PointResult, error) {
 		go func() {
 			defer wg.Done()
 			for run := range runCh {
+				if ctx.Err() != nil {
+					continue // drain without doing work
+				}
 				samples[run] = evalRun(sc, protocols, run, pairTries)
 			}
 		}()
 	}
+dispatch:
 	for run := 0; run < sc.Runs; run++ {
-		runCh <- run
+		select {
+		case runCh <- run:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(runCh)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	res := &PointResult{
 		Degree:    sc.Deployment.Degree,
@@ -159,7 +180,7 @@ func evalRun(sc Scenario, protocols []ProtocolSpec, run, pairTries int) runSampl
 		hops:     make([]stats.Accumulator, len(protocols)),
 		directed: make([]stats.Accumulator, len(protocols)),
 	}
-	rng := rand.New(rand.NewSource(sc.Seed + int64(run)))
+	rng := rand.New(rand.NewSource(RunSeed(sc.Seed, sc.Deployment.Degree, run)))
 	channel := sc.Metric.Name()
 	g, err := netgen.Build(sc.Deployment, channel, sc.WeightInterval, rng)
 	if err != nil {

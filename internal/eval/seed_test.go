@@ -1,0 +1,34 @@
+package eval
+
+import "testing"
+
+// The old derivation (seed + run + deg*7919) collided whenever a run delta
+// cancelled a degree delta; the mixed derivation must keep every
+// (degree, run) stream distinct for a fixed seed.
+func TestRunSeedNoCollisions(t *testing.T) {
+	seen := make(map[int64][2]float64)
+	for _, deg := range []float64{5, 10, 15, 20, 25, 30, 35} {
+		for run := 0; run < 10000; run++ {
+			s := RunSeed(1, deg, run)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("stream collision: (deg=%g, run=%d) and (deg=%g, run=%g) both derive %d",
+					deg, run, prev[0], prev[1], s)
+			}
+			seen[s] = [2]float64{deg, float64(run)}
+		}
+	}
+}
+
+// The specific overlap class of the old scheme: run 7919 of degree d must
+// no longer share a stream with run 0 of degree d+1.
+func TestRunSeedOldOverlapClassGone(t *testing.T) {
+	if RunSeed(1, 10, 7919) == RunSeed(1, 11, 0) {
+		t.Error("adjacent-degree stream overlap survived the mix")
+	}
+}
+
+func TestRunSeedVariesWithBaseSeed(t *testing.T) {
+	if RunSeed(1, 10, 0) == RunSeed(2, 10, 0) {
+		t.Error("base seed ignored")
+	}
+}

@@ -43,6 +43,17 @@ func (p Policy) String() string {
 	}
 }
 
+// PolicyByName resolves a policy's String form, so scenarios can be
+// composed from configuration ("qos-optimal" or "minhop-then-qos").
+func PolicyByName(name string) (Policy, error) {
+	for _, p := range []Policy{QoSOptimal, MinHopThenQoS} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("route: unknown policy %q (have %s, %s)", name, QoSOptimal, MinHopThenQoS)
+}
+
 // BuildAdvertised returns the advertised topology: a graph over the same
 // node set whose edges are exactly the links some node advertises (node n
 // advertising neighbor a contributes the undirected link {n,a}), carrying

@@ -1,0 +1,148 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"qolsr/internal/eval"
+	"qolsr/internal/metric"
+)
+
+// tinyFigure keeps engine tests fast: low density (≈ 95 nodes on the paper
+// field), short axis, the paper's three protocols.
+func tinyFigure(id string, degrees ...float64) eval.Figure {
+	return eval.Figure{
+		ID:        id,
+		Title:     "tiny " + id,
+		Metric:    metric.Bandwidth(),
+		Degrees:   degrees,
+		Quantity:  eval.QuantitySetSize,
+		Protocols: eval.PaperProtocols(),
+	}
+}
+
+func TestRunAssemblesAllPoints(t *testing.T) {
+	figs := []eval.Figure{tinyFigure("t1", 3, 4), tinyFigure("t2", 3)}
+	res, err := Run(context.Background(), figs, Options{Runs: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Figures) != 2 {
+		t.Fatalf("figures = %d", len(res.Figures))
+	}
+	for fi, fr := range res.Figures {
+		if len(fr.Points) != len(figs[fi].Degrees) {
+			t.Fatalf("figure %d points = %d, want %d", fi, len(fr.Points), len(figs[fi].Degrees))
+		}
+		for pi, p := range fr.Points {
+			if p == nil {
+				t.Fatalf("figure %d point %d missing", fi, pi)
+			}
+			if p.Degree != figs[fi].Degrees[pi] {
+				t.Errorf("figure %d point %d degree = %g, want %g", fi, pi, p.Degree, figs[fi].Degrees[pi])
+			}
+		}
+	}
+}
+
+func TestStreamEmitsEveryEvent(t *testing.T) {
+	figs := []eval.Figure{tinyFigure("s1", 3, 4, 5)}
+	events, wait := Stream(context.Background(), figs, Options{Runs: 1, Seed: 7, Workers: 4})
+	points, figures := 0, 0
+	seen := map[int]bool{}
+	for ev := range events {
+		switch ev.Kind {
+		case EventPoint:
+			points++
+			if ev.Point == nil || ev.FigureID != "s1" {
+				t.Errorf("bad point event %+v", ev)
+			}
+			if seen[ev.PointIndex] {
+				t.Errorf("duplicate point index %d", ev.PointIndex)
+			}
+			seen[ev.PointIndex] = true
+		case EventFigure:
+			figures++
+			if ev.Figure == nil || len(ev.Figure.Points) != 3 {
+				t.Errorf("bad figure event %+v", ev)
+			}
+		}
+	}
+	if points != 3 || figures != 1 {
+		t.Errorf("events = %d points, %d figures; want 3, 1", points, figures)
+	}
+	if _, err := wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The worker budget must only change wall-clock time, never numbers: the
+// encoded JSON is byte-identical across Workers values.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	figs := []eval.Figure{tinyFigure("d1", 3, 4), tinyFigure("d2", 4)}
+	encode := func(workers int) []byte {
+		res, err := Run(context.Background(), figs, Options{Runs: 3, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := encode(1)
+	for _, workers := range []int{2, 8} {
+		if got := encode(workers); !bytes.Equal(serial, got) {
+			t.Errorf("workers=%d changed the result:\n%s\nvs serial:\n%s", workers, got, serial)
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// A sweep big enough to still be in flight when the cancel lands.
+	figs := []eval.Figure{tinyFigure("c1", 5, 6, 7, 8), tinyFigure("c2", 5, 6, 7, 8)}
+	events, wait := Stream(ctx, figs, Options{Runs: 50, Seed: 3, Workers: 2})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	for range events {
+	}
+	start := time.Now()
+	_, err := wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("wait took %v after cancel", elapsed)
+	}
+}
+
+func TestRunPropagatesPointErrors(t *testing.T) {
+	_, err := Run(context.Background(), []eval.Figure{tinyFigure("bad", 5)}, Options{
+		Runs:           1,
+		WeightInterval: metric.Interval{Lo: -2, Hi: -1},
+	})
+	if err == nil {
+		t.Fatal("invalid weight interval accepted")
+	}
+}
+
+func TestDegreeOverrideDoesNotMutateInput(t *testing.T) {
+	fig := tinyFigure("o1", 3, 4, 5)
+	res, err := Run(context.Background(), []eval.Figure{fig}, Options{Runs: 1, Degrees: []float64{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Figures[0].Points) != 1 {
+		t.Errorf("override ignored: %d points", len(res.Figures[0].Points))
+	}
+	if len(fig.Degrees) != 3 {
+		t.Errorf("caller's figure mutated: %v", fig.Degrees)
+	}
+}

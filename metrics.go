@@ -1,0 +1,32 @@
+package qolsr
+
+// QoS metrics: the additive/concave metric algebra links are weighted with,
+// and the name registry scenarios are composed from.
+
+import "qolsr/internal/metric"
+
+type (
+	// Metric is the QoS metric algebra (additive or concave).
+	Metric = metric.Metric
+	// Interval is the uniform link-weight law.
+	Interval = metric.Interval
+	// LexCost is a two-criterion lexicographic cost.
+	LexCost = metric.LexCost
+	// Lexicographic combines two metrics, primary deciding.
+	Lexicographic = metric.Lexicographic
+)
+
+var (
+	// Bandwidth is the concave bottleneck metric (maximize).
+	Bandwidth = metric.Bandwidth
+	// Delay is the additive metric (minimize).
+	Delay = metric.Delay
+	// Hop counts links.
+	Hop = metric.Hop
+	// Energy is the additive future-work metric.
+	Energy = metric.Energy
+	// MetricByName resolves "bandwidth", "delay", "hop" or "energy".
+	MetricByName = metric.ByName
+	// DefaultInterval is the paper-style weight law (integers 1..10).
+	DefaultInterval = metric.DefaultInterval
+)

@@ -4,6 +4,7 @@ package qolsr_test
 // the root package, exercised together on realistic inputs.
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -125,16 +126,17 @@ func TestPublicFigureDefinitions(t *testing.T) {
 	if len(figs) != 4 {
 		t.Fatalf("figures = %d", len(figs))
 	}
-	res, err := qolsr.RunFigure(qolsr.Figure{
+	exp := qolsr.NewExperiment(qolsr.Figure{
 		ID: "smoke", Title: "smoke", Metric: qolsr.Bandwidth(),
 		Degrees: []float64{8}, Quantity: "set-size",
 		Protocols: qolsr.PaperProtocols(),
-	}, qolsr.FigureOptions{Runs: 1, Seed: 3})
+	})
+	res, err := exp.Run(context.Background(), qolsr.WithRuns(1), qolsr.WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := res.WriteTable(&sb); err != nil {
+	if err := res.WriteTables(&sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "smoke") {
