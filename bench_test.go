@@ -176,7 +176,7 @@ func BenchmarkAblationLoopFix(b *testing.B) {
 // BenchmarkAblationLocalLinks measures routing overhead with and without
 // the source's local links (ablation A2).
 func BenchmarkAblationLocalLinks(b *testing.B) {
-	sc := qolsr.Scenario{
+	sc := qolsr.PointScenario{
 		Deployment:     qolsr.PaperDeployment(15),
 		Metric:         qolsr.Bandwidth(),
 		WeightInterval: qolsr.DefaultInterval(),
@@ -303,6 +303,47 @@ func BenchmarkControlOverhead(b *testing.B) {
 			b.ReportMetric(rate, "ctrlB/s")
 		})
 	}
+}
+
+// BenchmarkScenario measures the scenario engine end to end: one built-in
+// scenario program (single-link-flap) scaled down to a small explicit
+// topology and a short horizon, one replicate per iteration. Track this
+// number to catch scenario-engine throughput regressions.
+func BenchmarkScenario(b *testing.B) {
+	sc, err := qolsr.ScenarioByName("single-link-flap", "fnbp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Small N: a 3×4 grid of explicit positions instead of the built-in's
+	// ~115-node Poisson field, with a proportionally shorter timeline.
+	var pts []qolsr.Point
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			pts = append(pts, qolsr.Point{X: 30 + 80*float64(c), Y: 30 + 80*float64(r)})
+		}
+	}
+	sc.Topology = qolsr.ScenarioTopology{Points: pts, Field: qolsr.Field{Width: 400, Height: 300}, Radius: 100}
+	sc.Duration = 40 * time.Second
+	sc.Warmup = 16 * time.Second
+	sc.Phases = []qolsr.ScenarioPhase{
+		{At: 21 * time.Second, Action: qolsr.ActionFailRandom{Count: 1}},
+		{At: 31 * time.Second, Action: qolsr.ActionRestoreAll{}},
+	}
+	var res *qolsr.ScenarioResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = qolsr.RunScenario(context.Background(), sc,
+			qolsr.WithRuns(1), qolsr.WithSeed(int64(i)+1), qolsr.WithWorkers(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	agg := res.Aggregate()
+	last := agg[len(agg)-1]
+	b.ReportMetric(float64(len(agg)), "samples")
+	b.ReportMetric(last.Delivery.Mean(), "delivery")
 }
 
 // BenchmarkProtocolConvergence measures wall time to simulate 30 virtual

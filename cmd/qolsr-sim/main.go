@@ -10,8 +10,14 @@
 //	qolsr-sim -figure fig6 -json -          # machine-readable results
 //	qolsr-sim -ablation control             # A4 on the live protocol stack
 //
-// Tables go to stdout; progress goes to stderr. Ctrl-C cancels the sweep
-// promptly.
+// Dynamic-network scenarios run on the live protocol stack through the
+// scenario subcommand:
+//
+//	qolsr-sim scenario list                 # built-in scenarios
+//	qolsr-sim scenario run -name single-link-flap -selector fnbp
+//
+// Tables go to stdout; progress goes to stderr. Ctrl-C cancels a sweep or
+// scenario promptly.
 package main
 
 import (
@@ -30,7 +36,13 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	var err error
+	if len(os.Args) > 1 && os.Args[1] == "scenario" {
+		err = runScenarioCmd(os.Args[2:])
+	} else {
+		err = run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "qolsr-sim:", err)
 		os.Exit(1)
 	}
@@ -47,12 +59,12 @@ func run() error {
 		jsonPath = flag.String("json", "", "also write the result as JSON to this file (\"-\" for stdout)")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		degrees  = flag.String("degrees", "", "override the density axis, e.g. 10,15,20")
-		list     = flag.Bool("list", false, "list composable sweep IDs and exit")
+		list     = flag.Bool("list", false, "list sweeps, quantities, routing policies and scenarios, then exit")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(qolsr.SweepIDs(), "\n"))
+		fmt.Print(registryListing())
 		return nil
 	}
 
@@ -82,7 +94,11 @@ func run() error {
 	r := qolsr.NewRunner(opts...)
 
 	if *ablation == "control" {
-		// A4 runs on the live protocol stack, not the figure harness.
+		// A4 runs on the live protocol stack, not the figure harness,
+		// and its result has only a table form.
+		if *jsonPath != "" || *csvPath != "" {
+			return fmt.Errorf("-ablation control has table output only; -json/-csv are not supported")
+		}
 		res, err := r.ControlSweep(ctx, qolsr.ControlSweepOptions{})
 		if err != nil {
 			return err
@@ -133,6 +149,30 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// registryListing renders every composable registry: sweeps (figures and
+// ablations), reportable quantities, routing policies and the built-in
+// scenarios with their run verb.
+func registryListing() string {
+	var b strings.Builder
+	b.WriteString("sweeps (-figure / -ablation):\n")
+	for _, id := range qolsr.SweepIDs() {
+		fmt.Fprintf(&b, "  %s\n", id)
+	}
+	b.WriteString("quantities:\n")
+	for _, q := range qolsr.QuantityNames() {
+		fmt.Fprintf(&b, "  %s\n", q)
+	}
+	b.WriteString("routing policies:\n")
+	for _, p := range qolsr.RoutePolicyNames() {
+		fmt.Fprintf(&b, "  %s\n", p)
+	}
+	b.WriteString("scenarios (scenario run -name):\n")
+	for _, s := range qolsr.ScenarioNames() {
+		fmt.Fprintf(&b, "  %s\n", s)
+	}
+	return b.String()
 }
 
 // composeExperiment builds the experiment from the -figure / -ablation

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"qolsr"
+)
 
 func TestParseDegrees(t *testing.T) {
 	got, err := parseDegrees("10, 15,20")
@@ -52,5 +58,52 @@ func TestComposeExperiment(t *testing.T) {
 	}
 	if _, err := composeExperiment("fig99", ""); err == nil {
 		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRegistryListing(t *testing.T) {
+	out := registryListing()
+	for _, section := range []string{"sweeps", "quantities:", "routing policies:", "scenarios"} {
+		if !strings.Contains(out, section) {
+			t.Errorf("listing missing section %q", section)
+		}
+	}
+	for _, entry := range []string{"fig6", "ablation-mprs", "set-size", "qos-optimal", "minhop-then-qos", "static-baseline", "churn-storm"} {
+		if !strings.Contains(out, "  "+entry+"\n") {
+			t.Errorf("listing missing entry %q", entry)
+		}
+	}
+}
+
+func TestScenarioCmdErrors(t *testing.T) {
+	if err := runScenarioCmd(nil); err == nil {
+		t.Error("missing verb accepted")
+	}
+	if err := runScenarioCmd([]string{"bogus"}); err == nil {
+		t.Error("unknown verb accepted")
+	}
+	if err := runScenario(nil); err == nil {
+		t.Error("run without -name accepted")
+	}
+	if err := runScenario([]string{"-name", "nope"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := runScenario([]string{"-name", "static-baseline", "-json", "-", "-csv", "-"}); err == nil {
+		t.Error("shared stdout accepted")
+	}
+}
+
+func TestClampPhases(t *testing.T) {
+	sc, err := qolsr.ScenarioByName("single-link-flap", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Duration = 50 * time.Second // the restore at 75s no longer fits
+	clampPhases(&sc)
+	if len(sc.Phases) != 1 {
+		t.Fatalf("phases after clamp = %d, want 1", len(sc.Phases))
+	}
+	if sc.Phases[0].At != 45*time.Second {
+		t.Errorf("kept phase at %v, want 45s", sc.Phases[0].At)
 	}
 }

@@ -1,0 +1,145 @@
+package main
+
+// The scenario subcommand: run and list the dynamic-network scenarios of
+// the Scenario API.
+//
+//	qolsr-sim scenario list                        # built-ins + selectors
+//	qolsr-sim scenario run -name single-link-flap  # defaults: fnbp, 3 runs
+//	qolsr-sim scenario run -name churn-storm -selector qolsr -runs 5 -json -
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"qolsr"
+)
+
+// runScenarioCmd dispatches "qolsr-sim scenario <verb>".
+func runScenarioCmd(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("scenario needs a verb: run or list")
+	}
+	switch args[0] {
+	case "list":
+		return listScenarios(os.Stdout)
+	case "run":
+		return runScenario(args[1:])
+	default:
+		return fmt.Errorf("unknown scenario verb %q (have run, list)", args[0])
+	}
+}
+
+// listScenarios prints the built-in registry with descriptions.
+func listScenarios(w *os.File) error {
+	for _, def := range qolsr.BuiltInScenarios() {
+		if _, err := fmt.Fprintf(w, "%-24s %s\n", def.Name, def.Description); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "\nselectors: fnbp (default), topofilter, qolsr, full")
+	return err
+}
+
+// runScenario executes one built-in scenario with CLI overrides.
+func runScenario(args []string) error {
+	fs := flag.NewFlagSet("scenario run", flag.ContinueOnError)
+	var (
+		name     = fs.String("name", "", "built-in scenario to run (see: qolsr-sim scenario list)")
+		selector = fs.String("selector", "fnbp", "advertised-set selector: fnbp, topofilter, qolsr, full")
+		runs     = fs.Int("runs", 0, "replicate runs (0 = default 3)")
+		seed     = fs.Int64("seed", 1, "base RNG seed")
+		workers  = fs.Int("workers", 0, "parallelism budget across replicate runs (0 = GOMAXPROCS)")
+		csvPath  = fs.String("csv", "", "also write the result as long-form CSV to this file (\"-\" for stdout)")
+		jsonPath = fs.String("json", "", "also write the result as JSON to this file (\"-\" for stdout)")
+		quiet    = fs.Bool("quiet", false, "suppress progress output")
+		duration = fs.Duration("duration", 0, "override the scenario duration")
+		sample   = fs.Duration("sample", 0, "override the measurement cadence")
+		flows    = fs.Int("flows", 0, "override the probe flow count")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("scenario run needs -name (see: qolsr-sim scenario list)")
+	}
+	if *jsonPath == "-" && *csvPath == "-" {
+		return fmt.Errorf("-json - and -csv - cannot share stdout")
+	}
+
+	sc, err := qolsr.ScenarioByName(*name, *selector)
+	if err != nil {
+		return err
+	}
+	if *duration > 0 {
+		sc.Duration = *duration
+		if sc.Warmup > *duration {
+			sc.Warmup = *duration / 3
+		}
+		clampPhases(&sc)
+	}
+	if *sample > 0 {
+		sc.SampleEvery = *sample
+	}
+	if *flows > 0 {
+		sc.Traffic.Flows = *flows
+	}
+
+	// Ctrl-C / SIGTERM cancels the execution; replicate runs stop at the
+	// next sample and the command reports the cancellation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := []qolsr.Option{
+		qolsr.WithRuns(*runs),
+		qolsr.WithSeed(*seed),
+		qolsr.WithWorkers(*workers),
+	}
+	if !*quiet {
+		opts = append(opts, qolsr.WithProgress(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}))
+	}
+	res, err := qolsr.RunScenario(ctx, sc, opts...)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("scenario canceled")
+		}
+		return err
+	}
+
+	// An encoder targeting "-" owns stdout: suppress the human table so
+	// the stream stays machine-parseable.
+	if *jsonPath != "-" && *csvPath != "-" {
+		if err := res.WriteTable(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *csvPath != "" {
+		if err := writeOut(*csvPath, res.EncodeCSV); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeOut(*jsonPath, res.EncodeJSON); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clampPhases drops timeline phases a shortened duration pushed past the
+// end, so -duration overrides keep built-ins valid.
+func clampPhases(sc *qolsr.Scenario) {
+	kept := sc.Phases[:0:0]
+	for _, ph := range sc.Phases {
+		if ph.At <= sc.Duration {
+			kept = append(kept, ph)
+		}
+	}
+	sc.Phases = kept
+}

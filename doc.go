@@ -24,7 +24,9 @@
 //     OLSR/QOLSR protocol stack (HELLO/TC, MPR flooding, QoS routing
 //     tables) over a discrete-event simulator, with mobility;
 //   - experiment.go — the Experiment/Runner API regenerating the paper's
-//     evaluation (Figs. 6-9) and the repository's ablations.
+//     evaluation (Figs. 6-9) and the repository's ablations;
+//   - scenario.go — the Scenario API: declarative dynamic-network programs
+//     on the live protocol stack.
 //
 // # Experiments
 //
@@ -55,6 +57,28 @@
 //		}
 //	}
 //	res, err := wait()
+//
+// # Scenarios
+//
+// The paper evaluates FNBP on static random graphs; the scenario layer runs
+// the same protocol implementations through the dynamic regimes OLSR's
+// soft-state timers exist for. A Scenario is a declarative program — a
+// topology source (Poisson deployment or explicit points), a protocol
+// configuration, a timeline of phases (link failures and restores,
+// partitions, waypoint mobility) and a probe workload — executed on the
+// live stack, with delivery ratio, hop stretch, routing overhead vs. the
+// instantaneous optimum, control traffic, advertised-set sizes and
+// post-churn reconvergence time sampled at a fixed virtual-time cadence.
+// Built-ins resolve by name, parameterised by selector:
+//
+//	sc, err := qolsr.ScenarioByName("single-link-flap", "fnbp")
+//	res, err := qolsr.RunScenario(ctx, sc, qolsr.WithRuns(5), qolsr.WithSeed(1))
+//	res.WriteTable(os.Stdout)   // aggregate table + reconvergence summary
+//	res.EncodeJSON(os.Stdout)   // machine-readable ("qolsr-scenario/v1")
+//
+// Replicate runs parallelize under the runner's worker budget with the same
+// determinism guarantee as the sweeps: every run's RNG streams derive from
+// (seed, run), so results are bit-identical for any WithWorkers value.
 //
 // # Quick start
 //

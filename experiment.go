@@ -34,8 +34,10 @@ type (
 	Figure = eval.Figure
 	// Quantity selects which measured series a figure reports.
 	Quantity = eval.Quantity
-	// Scenario is one density point, ready for RunPoint.
-	Scenario = eval.Scenario
+	// PointScenario is one density point, ready for RunPoint. (The name
+	// Scenario belongs to the dynamic-network scenario programs of
+	// scenario.go.)
+	PointScenario = eval.Scenario
 	// PointResult is one density point's outcome.
 	PointResult = eval.PointResult
 	// ProtocolPoint aggregates one protocol's behaviour at one density.
@@ -88,6 +90,8 @@ var (
 	SweepIDs = eval.SweepIDs
 	// QuantityByName resolves a quantity's string form.
 	QuantityByName = eval.QuantityByName
+	// QuantityNames lists every reportable quantity's string form.
+	QuantityNames = eval.QuantityNames
 	// PaperProtocols returns the paper's three curves.
 	PaperProtocols = eval.PaperProtocols
 	// LoopFixAblation compares loop-fix variants (A1).

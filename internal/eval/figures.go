@@ -92,15 +92,31 @@ func FigureByID(id string) (Figure, error) {
 	return Figure{}, fmt.Errorf("eval: unknown figure %q (have fig6..fig9)", id)
 }
 
+// quantities is the canonical registry, in listing order; QuantityByName
+// and QuantityNames both derive from it so the two can never drift apart.
+func quantities() []Quantity {
+	return []Quantity{QuantitySetSize, QuantityOverhead, QuantityDelivery, QuantityDirectedDelivery}
+}
+
 // QuantityByName resolves a quantity's string form ("set-size", "overhead",
 // "delivery" or "directed-delivery").
 func QuantityByName(name string) (Quantity, error) {
-	switch q := Quantity(name); q {
-	case QuantitySetSize, QuantityOverhead, QuantityDelivery, QuantityDirectedDelivery:
-		return q, nil
-	default:
-		return "", fmt.Errorf("eval: unknown quantity %q", name)
+	for _, q := range quantities() {
+		if string(q) == name {
+			return q, nil
+		}
 	}
+	return "", fmt.Errorf("eval: unknown quantity %q", name)
+}
+
+// QuantityNames lists every reportable quantity's string form.
+func QuantityNames() []string {
+	qs := quantities()
+	names := make([]string, len(qs))
+	for i, q := range qs {
+		names[i] = string(q)
+	}
+	return names
 }
 
 // Ablations returns the repository's ablation sweeps, composable by ID like

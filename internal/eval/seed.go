@@ -1,17 +1,10 @@
 package eval
 
-import "math"
+import (
+	"math"
 
-// splitmix64 is the finalizer of the SplitMix64 generator (Steele, Lea,
-// Flood 2014). It is a high-quality 64-bit mixing function: every input bit
-// avalanches into every output bit, so nearby inputs produce uncorrelated
-// outputs.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
+	"qolsr/internal/rng"
+)
 
 // RunSeed derives the RNG stream for one run of one density point from the
 // experiment's base seed. The naive `seed + run + deg*constant` scheme
@@ -19,8 +12,8 @@ func splitmix64(x uint64) uint64 {
 // d equals run 0 of degree d+1); chaining splitmix64 over the three inputs
 // makes every (seed, degree, run) triple an independent stream.
 func RunSeed(seed int64, degree float64, run int) int64 {
-	h := splitmix64(uint64(seed))
-	h = splitmix64(h ^ math.Float64bits(degree))
-	h = splitmix64(h ^ uint64(run))
+	h := rng.Splitmix64(uint64(seed))
+	h = rng.Splitmix64(h ^ math.Float64bits(degree))
+	h = rng.Splitmix64(h ^ uint64(run))
 	return int64(h)
 }

@@ -128,7 +128,11 @@ func (m *Mobility) advanceNode(i int, until time.Duration) {
 	}
 }
 
-// Positions returns the current node positions (freshly allocated).
+// Positions returns the current node positions as a defensive copy: the
+// returned slice is freshly allocated on every call and never aliases the
+// model's internal state, so callers (e.g. concurrent measurement probes)
+// may retain or mutate it freely. Mobility itself is not goroutine-safe —
+// AdvanceTo and Positions must still be serialized with each other.
 func (m *Mobility) Positions() []Point {
 	out := make([]Point, len(m.nodes))
 	for i, n := range m.nodes {

@@ -112,6 +112,24 @@ func TestMobilityAdvanceBackwardsNoop(t *testing.T) {
 	}
 }
 
+func TestPositionsDefensiveCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := NewMobility(testModel(), []Point{{10, 10}, {50, 50}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Positions()
+	orig := a[0]
+	a[0] = Point{X: -999, Y: -999} // mutate the returned slice
+	b := m.Positions()
+	if b[0] != orig {
+		t.Errorf("mutating the returned slice changed internal state: %v", b[0])
+	}
+	if &a[0] == &b[0] {
+		t.Error("Positions returned aliasing slices")
+	}
+}
+
 func TestMobilityPauses(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	model := testModel()

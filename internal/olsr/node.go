@@ -322,6 +322,66 @@ func equalIDs(a, b []int64) bool {
 	return true
 }
 
+// sortedKeys returns a map's keys in ascending order. The node's tables are
+// Go maps, whose iteration order is randomized per range: everything
+// derived from them (graph edge insertion order, hence Dijkstra tie-breaks,
+// hence chosen routes) must iterate in sorted order instead, or routing
+// becomes nondeterministic across processes.
+func sortedKeys[V any](m map[int64]V) []int64 {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// edgeAccum collects undirected weighted edges with first-writer-wins
+// deduplication in a deterministic insertion order.
+type edgeAccum struct {
+	order [][2]int64
+	w     map[[2]int64]float64
+}
+
+func newEdgeAccum() *edgeAccum {
+	return &edgeAccum{w: make(map[[2]int64]float64)}
+}
+
+func (ea *edgeAccum) add(a, b int64, w float64) {
+	if a == b {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]int64{a, b}
+	if _, dup := ea.w[key]; dup {
+		return
+	}
+	ea.w[key] = w
+	ea.order = append(ea.order, key)
+}
+
+// build inserts the accumulated edges into g, in accumulation order, using
+// index to map identifiers to node indices.
+func (ea *edgeAccum) build(g *graph.Graph, index map[int64]int32, channel string) {
+	for _, key := range ea.order {
+		ia, ok := index[key[0]]
+		if !ok {
+			continue
+		}
+		ib, ok := index[key[1]]
+		if !ok {
+			continue
+		}
+		e, err := g.AddEdge(ia, ib)
+		if err != nil {
+			continue
+		}
+		_ = g.SetWeight(channel, e, ea.w[key])
+	}
+}
+
 // localView materialises the node's current knowledge of G_u as a graph and
 // returns the local view centered at this node.
 func (n *Node) localView() (*graph.LocalView, *graph.Graph, []float64, error) {
@@ -353,31 +413,25 @@ func (n *Node) localView() (*graph.LocalView, *graph.Graph, []float64, error) {
 		index[int64(id)] = int32(i)
 	}
 	channel := n.cfg.Metric.Name()
-	addEdge := func(a, b int64, weight float64) {
-		ia, ib := index[a], index[b]
-		if _, dup := g.EdgeBetween(ia, ib); dup {
-			return
-		}
-		e, err := g.AddEdge(ia, ib)
-		if err != nil {
-			return
-		}
-		_ = g.SetWeight(channel, e, weight)
+	// Accumulate edges in sorted-key order (own links take precedence
+	// over neighbor-advertised ones) so the view is identical for
+	// identical protocol state, whatever the map iteration order.
+	acc := newEdgeAccum()
+	for _, id := range sortedKeys(n.links) {
+		acc.add(n.ID, id, n.links[id].weight)
 	}
-	for id, l := range n.links {
-		addEdge(n.ID, id, l.weight)
-	}
-	for nb, tbl := range n.neighbors {
+	for _, nb := range sortedKeys(n.neighbors) {
 		if _, direct := n.links[nb]; !direct {
 			continue
 		}
-		for peer, weight := range tbl.links {
-			if peer == n.ID {
-				continue
+		tbl := n.neighbors[nb]
+		for _, peer := range sortedKeys(tbl.links) {
+			if peer != n.ID {
+				acc.add(nb, peer, tbl.links[peer])
 			}
-			addEdge(nb, peer, weight)
 		}
 	}
+	acc.build(g, index, channel)
 	w, err := g.Weights(channel)
 	if err != nil {
 		return nil, nil, nil, err
@@ -445,35 +499,32 @@ func (n *Node) KnownTopology(now time.Duration) (*graph.Graph, error) {
 		index[int64(id)] = int32(i)
 	}
 	channel := n.cfg.Metric.Name()
-	addEdge := func(a, b int64, weight float64) {
-		ia, ib := index[a], index[b]
-		if _, dup := g.EdgeBetween(ia, ib); dup {
-			return
-		}
-		e, err := g.AddEdge(ia, ib)
-		if err != nil {
-			return
-		}
-		_ = g.SetWeight(channel, e, weight)
+	// Accumulate edges in sorted-key order with fixed source precedence
+	// (own links, then HELLO-learned two-hop links, then TC links): edge
+	// insertion order decides Dijkstra tie-breaks downstream, so it must
+	// be a pure function of the protocol state, not of map iteration.
+	acc := newEdgeAccum()
+	for _, id := range sortedKeys(n.links) {
+		acc.add(n.ID, id, n.links[id].weight)
 	}
-	for id, l := range n.links {
-		addEdge(n.ID, id, l.weight)
-	}
-	for nb, tbl := range n.neighbors {
+	for _, nb := range sortedKeys(n.neighbors) {
 		if _, direct := n.links[nb]; !direct {
 			continue
 		}
-		for peer, weight := range tbl.links {
+		tbl := n.neighbors[nb]
+		for _, peer := range sortedKeys(tbl.links) {
 			if peer != n.ID {
-				addEdge(nb, peer, weight)
+				acc.add(nb, peer, tbl.links[peer])
 			}
 		}
 	}
-	for origin, t := range n.topology {
-		for peer, weight := range t.links {
-			addEdge(origin, peer, weight)
+	for _, origin := range sortedKeys(n.topology) {
+		t := n.topology[origin]
+		for _, peer := range sortedKeys(t.links) {
+			acc.add(origin, peer, t.links[peer])
 		}
 	}
+	acc.build(g, index, channel)
 	return g, nil
 }
 

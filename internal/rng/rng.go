@@ -1,0 +1,16 @@
+// Package rng holds the shared stream-derivation primitive: both the sweep
+// harness (eval.RunSeed) and the scenario engine derive their independent
+// RNG streams from it, so the repo-wide cross-worker determinism story
+// rests on a single implementation.
+package rng
+
+// Splitmix64 is the finalizer of the SplitMix64 generator (Steele, Lea,
+// Flood 2014). It is a high-quality 64-bit mixing function: every input bit
+// avalanches into every output bit, so nearby inputs produce uncorrelated
+// outputs.
+func Splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -54,6 +54,11 @@ func PolicyByName(name string) (Policy, error) {
 	return 0, fmt.Errorf("route: unknown policy %q (have %s, %s)", name, QoSOptimal, MinHopThenQoS)
 }
 
+// PolicyNames lists every policy's string form, in declaration order.
+func PolicyNames() []string {
+	return []string{QoSOptimal.String(), MinHopThenQoS.String()}
+}
+
 // BuildAdvertised returns the advertised topology: a graph over the same
 // node set whose edges are exactly the links some node advertises (node n
 // advertising neighbor a contributes the undirected link {n,a}), carrying

@@ -1,0 +1,80 @@
+package runner
+
+import (
+	"context"
+	"sync"
+)
+
+// jobPool executes n indexed jobs on a bounded worker pool — the shared
+// engine behind Stream and StreamScenario. run(runCtx, i) performs job i;
+// a non-nil return is recorded as the pool's first error and cancels the
+// remaining jobs (errors reported after cancellation are ignored, so a
+// run that fails *because* of the cancel doesn't mask it). finish runs
+// exactly once after every worker has exited — close event channels there.
+// The returned wait blocks until the pool drains and yields ctx.Err() when
+// the caller's context was cancelled, else the first job error.
+func jobPool(ctx context.Context, n, workers int, run func(ctx context.Context, i int) error, finish func()) (wait func() error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobCh {
+				if runCtx.Err() != nil {
+					continue // drain without doing work
+				}
+				if err := run(runCtx, i); err != nil && runCtx.Err() == nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer cancel()
+	dispatch:
+		for i := 0; i < n; i++ {
+			select {
+			case jobCh <- i:
+			case <-runCtx.Done():
+				break dispatch
+			}
+		}
+		close(jobCh)
+		wg.Wait()
+		finish()
+	}()
+
+	return func() error {
+		<-done
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr
+	}
+}

@@ -140,96 +140,51 @@ func Stream(ctx context.Context, figs []eval.Figure, opts Options) (<-chan Event
 	}
 
 	events := make(chan Event, len(jobs)+len(figs))
-	runCtx, cancel := context.WithCancel(ctx)
 	var (
 		mu         sync.Mutex
 		progressMu sync.Mutex
-		firstErr   error
 	)
-	fail := func(err error) {
+	poolWait := jobPool(ctx, len(jobs), pointWorkers, func(runCtx context.Context, i int) error {
+		j := jobs[i]
+		fig := figs[j.fi]
+		sc := fig.Scenario(j.deg, opts.Runs, opts.Seed, opts.WeightInterval)
+		sc.Workers = runWorkers
+		point, err := eval.RunPoint(runCtx, sc, fig.Protocols)
+		if err != nil {
+			return fmt.Errorf("runner: %s density %g: %w", fig.ID, j.deg, err)
+		}
 		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
+		results[j.fi].Points[j.pi] = point
+		remaining[j.fi]--
+		figDone := remaining[j.fi] == 0
 		mu.Unlock()
-		cancel()
-	}
-
-	jobCh := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < pointWorkers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				if runCtx.Err() != nil {
-					continue // drain without doing work
-				}
-				fig := figs[j.fi]
-				sc := fig.Scenario(j.deg, opts.Runs, opts.Seed, opts.WeightInterval)
-				sc.Workers = runWorkers
-				point, err := eval.RunPoint(runCtx, sc, fig.Protocols)
-				if err != nil {
-					fail(fmt.Errorf("runner: %s density %g: %w", fig.ID, j.deg, err))
-					continue
-				}
-				mu.Lock()
-				results[j.fi].Points[j.pi] = point
-				remaining[j.fi]--
-				figDone := remaining[j.fi] == 0
-				mu.Unlock()
-				events <- Event{
-					Kind:        EventPoint,
-					FigureID:    fig.ID,
-					FigureIndex: j.fi,
-					PointIndex:  j.pi,
-					Degree:      j.deg,
-					Point:       point,
-				}
-				if opts.Progress != nil {
-					progressMu.Lock()
-					opts.Progress("%s density %g done (%d runs, %.0f nodes avg)",
-						fig.ID, j.deg, opts.Runs, point.Nodes.Mean())
-					progressMu.Unlock()
-				}
-				if figDone {
-					events <- Event{
-						Kind:        EventFigure,
-						FigureID:    fig.ID,
-						FigureIndex: j.fi,
-						Figure:      results[j.fi],
-					}
-				}
-			}
-		}()
-	}
-
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		defer cancel()
-	dispatch:
-		for _, j := range jobs {
-			select {
-			case jobCh <- j:
-			case <-runCtx.Done():
-				break dispatch
+		events <- Event{
+			Kind:        EventPoint,
+			FigureID:    fig.ID,
+			FigureIndex: j.fi,
+			PointIndex:  j.pi,
+			Degree:      j.deg,
+			Point:       point,
+		}
+		if opts.Progress != nil {
+			progressMu.Lock()
+			opts.Progress("%s density %g done (%d runs, %.0f nodes avg)",
+				fig.ID, j.deg, opts.Runs, point.Nodes.Mean())
+			progressMu.Unlock()
+		}
+		if figDone {
+			events <- Event{
+				Kind:        EventFigure,
+				FigureID:    fig.ID,
+				FigureIndex: j.fi,
+				Figure:      results[j.fi],
 			}
 		}
-		close(jobCh)
-		wg.Wait()
-		close(events)
-	}()
+		return nil
+	}, func() { close(events) })
 
 	wait := func() (*Result, error) {
-		<-done
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		mu.Lock()
-		err := firstErr
-		mu.Unlock()
-		if err != nil {
+		if err := poolWait(); err != nil {
 			return nil, err
 		}
 		return &Result{Figures: results, Quantities: opts.Quantities}, nil

@@ -1,0 +1,226 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qolsr/internal/geom"
+	"qolsr/internal/sim"
+)
+
+// Action is one timeline effect on the running network. Implementations are
+// value types; the engine applies them at their phase time with access to
+// the network, the current node positions and the run's event RNG, so an
+// action's outcome is a pure function of (scenario, seed, run).
+type Action interface {
+	// Describe returns the action's stable string form, used by the JSON
+	// encoder and the tables.
+	Describe() string
+	// Disruptive marks actions that start a reconvergence measurement:
+	// the engine records the fire time and later reports how long the
+	// protocol took to re-deliver every connected probe flow.
+	Disruptive() bool
+
+	validate() error
+	apply(env *actionEnv) error
+}
+
+// actionEnv is what an action may touch when it fires.
+type actionEnv struct {
+	nw    *sim.Network
+	field geom.Field
+	rng   *rand.Rand
+	// positions returns the node positions at fire time (mobility-aware).
+	positions func() []geom.Point
+}
+
+// upLinks lists the currently usable physical links.
+func (env *actionEnv) upLinks() [][2]int32 {
+	var links [][2]int32
+	g := env.nw.Phys
+	for a := int32(0); int(a) < g.N(); a++ {
+		for _, arc := range g.Arcs(a) {
+			if a < arc.To && env.nw.LinkUp(a, arc.To) {
+				links = append(links, [2]int32{a, arc.To})
+			}
+		}
+	}
+	return links
+}
+
+// FailLink takes one named physical link down.
+type FailLink struct{ A, B int32 }
+
+// Describe implements Action.
+func (f FailLink) Describe() string { return fmt.Sprintf("fail-link %d-%d", f.A, f.B) }
+
+// Disruptive implements Action.
+func (FailLink) Disruptive() bool { return true }
+
+func (f FailLink) validate() error {
+	if f.A == f.B || f.A < 0 || f.B < 0 {
+		return fmt.Errorf("fail-link needs two distinct node indices, got %d-%d", f.A, f.B)
+	}
+	return nil
+}
+
+func (f FailLink) apply(env *actionEnv) error { return env.nw.FailLink(f.A, f.B) }
+
+// RestoreLink brings one named physical link back.
+type RestoreLink struct{ A, B int32 }
+
+// Describe implements Action.
+func (r RestoreLink) Describe() string { return fmt.Sprintf("restore-link %d-%d", r.A, r.B) }
+
+// Disruptive implements Action. Restores also perturb routing (better
+// routes appear), so they open a reconvergence window too.
+func (RestoreLink) Disruptive() bool { return true }
+
+func (r RestoreLink) validate() error {
+	if r.A == r.B || r.A < 0 || r.B < 0 {
+		return fmt.Errorf("restore-link needs two distinct node indices, got %d-%d", r.A, r.B)
+	}
+	return nil
+}
+
+func (r RestoreLink) apply(env *actionEnv) error { return env.nw.RestoreLink(r.A, r.B) }
+
+// FailFraction fails a uniformly random fraction of the currently-up links,
+// drawn from the run's event RNG — the churn-storm primitive.
+type FailFraction struct {
+	// Fraction of up links to fail, in (0,1].
+	Fraction float64
+}
+
+// Describe implements Action.
+func (f FailFraction) Describe() string { return fmt.Sprintf("fail-fraction %.2f", f.Fraction) }
+
+// Disruptive implements Action.
+func (FailFraction) Disruptive() bool { return true }
+
+func (f FailFraction) validate() error {
+	if !(f.Fraction > 0) || f.Fraction > 1 {
+		return fmt.Errorf("fail-fraction %g outside (0,1]", f.Fraction)
+	}
+	return nil
+}
+
+func (f FailFraction) apply(env *actionEnv) error {
+	links := env.upLinks()
+	if len(links) == 0 {
+		return nil
+	}
+	count := int(float64(len(links))*f.Fraction + 0.5)
+	if count < 1 {
+		count = 1
+	}
+	if count > len(links) {
+		count = len(links)
+	}
+	env.rng.Shuffle(len(links), func(i, j int) { links[i], links[j] = links[j], links[i] })
+	for _, l := range links[:count] {
+		if err := env.nw.FailLink(l[0], l[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FailRandom fails a fixed number of uniformly random up links, drawn from
+// the run's event RNG — the single-link-flap primitive.
+type FailRandom struct {
+	// Count is the number of links to fail (clamped to the up links).
+	Count int
+}
+
+// Describe implements Action.
+func (f FailRandom) Describe() string { return fmt.Sprintf("fail-random %d", f.Count) }
+
+// Disruptive implements Action.
+func (FailRandom) Disruptive() bool { return true }
+
+func (f FailRandom) validate() error {
+	if f.Count < 1 {
+		return fmt.Errorf("fail-random needs a positive count, got %d", f.Count)
+	}
+	return nil
+}
+
+func (f FailRandom) apply(env *actionEnv) error {
+	links := env.upLinks()
+	if len(links) == 0 {
+		return nil
+	}
+	count := f.Count
+	if count > len(links) {
+		count = len(links)
+	}
+	env.rng.Shuffle(len(links), func(i, j int) { links[i], links[j] = links[j], links[i] })
+	for _, l := range links[:count] {
+		if err := env.nw.FailLink(l[0], l[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreAll brings every failed link back — the heal primitive.
+type RestoreAll struct{}
+
+// Describe implements Action.
+func (RestoreAll) Describe() string { return "restore-all" }
+
+// Disruptive implements Action.
+func (RestoreAll) Disruptive() bool { return true }
+
+func (RestoreAll) validate() error { return nil }
+
+func (RestoreAll) apply(env *actionEnv) error {
+	// Clear the down-set wholesale rather than iterating current edges:
+	// under mobility a failed pair can be momentarily out of range, and
+	// it must come back up when the geometry re-forms the link.
+	env.nw.RestoreAllLinks()
+	return nil
+}
+
+// Partition fails every link crossing the field's vertical midline at the
+// node positions current when the action fires, splitting the network into
+// two halves. Heal with RestoreAll.
+type Partition struct{}
+
+// Describe implements Action.
+func (Partition) Describe() string { return "partition" }
+
+// Disruptive implements Action.
+func (Partition) Disruptive() bool { return true }
+
+func (Partition) validate() error { return nil }
+
+func (p Partition) apply(env *actionEnv) error {
+	pos := env.positions()
+	mid := env.field.Width / 2
+	g := env.nw.Phys
+	for a := int32(0); int(a) < g.N(); a++ {
+		for _, arc := range g.Arcs(a) {
+			if a >= arc.To {
+				continue
+			}
+			if (pos[a].X < mid) != (pos[arc.To].X < mid) {
+				if err := env.nw.FailLink(a, arc.To); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Action = FailLink{}
+	_ Action = RestoreLink{}
+	_ Action = FailFraction{}
+	_ Action = FailRandom{}
+	_ Action = RestoreAll{}
+	_ Action = Partition{}
+)

@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"qolsr/internal/core"
+	"qolsr/internal/geom"
+)
+
+// Definition is one named, parameterisable built-in scenario.
+type Definition struct {
+	// Name is the registry key.
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// Build materialises the scenario for one advertised-set selector.
+	Build func(selector string) Scenario
+}
+
+// builtinField keeps the live-stack simulations affordable, matching the
+// control-traffic experiment's deployment area.
+func builtinField() geom.Field { return geom.Field{Width: 600, Height: 600} }
+
+func builtinDeployment(degree float64) *geom.Deployment {
+	return &geom.Deployment{Field: builtinField(), Radius: 100, Degree: degree}
+}
+
+func waypoint(minSpeed, maxSpeed float64) *Mobility {
+	return &Mobility{
+		Model: geom.Waypoint{
+			Field:    builtinField(),
+			MinSpeed: minSpeed,
+			MaxSpeed: maxSpeed,
+			Pause:    2 * time.Second,
+		},
+		RebuildEvery: time.Second,
+	}
+}
+
+// BuiltIn returns the built-in scenario registry, in listing order.
+func BuiltIn() []Definition {
+	return []Definition{
+		{
+			Name:        "static-baseline",
+			Description: "static Poisson deployment, no dynamics — the paper's regime on the live stack",
+			Build: func(sel string) Scenario {
+				return Scenario{
+					Name:        "static-baseline",
+					Description: "static Poisson deployment, no dynamics",
+					Topology:    Topology{Deployment: builtinDeployment(10)},
+					Protocol:    Protocol{Selector: sel},
+					Duration:    90 * time.Second,
+				}
+			},
+		},
+		{
+			Name:        "single-link-flap",
+			Description: "one random link fails mid-run and comes back — soft-state expiry and reroute",
+			Build: func(sel string) Scenario {
+				return Scenario{
+					Name:        "single-link-flap",
+					Description: "one random link fails at 45s, restores at 75s",
+					Topology:    Topology{Deployment: builtinDeployment(10)},
+					Protocol:    Protocol{Selector: sel},
+					Duration:    120 * time.Second,
+					Phases: []Phase{
+						{At: 45 * time.Second, Action: FailRandom{Count: 1}},
+						{At: 75 * time.Second, Action: RestoreAll{}},
+					},
+				}
+			},
+		},
+		{
+			Name:        "partition-heal",
+			Description: "the field splits along its midline and later heals — state expiry and re-merge",
+			Build: func(sel string) Scenario {
+				return Scenario{
+					Name:        "partition-heal",
+					Description: "partition at 40s across the field midline, heal at 80s",
+					Topology:    Topology{Deployment: builtinDeployment(12)},
+					Protocol:    Protocol{Selector: sel},
+					Duration:    120 * time.Second,
+					Phases: []Phase{
+						{At: 40 * time.Second, Action: Partition{}},
+						{At: 80 * time.Second, Action: RestoreAll{}},
+					},
+				}
+			},
+		},
+		{
+			Name:        "random-waypoint-sparse",
+			Description: "sparse random-waypoint mobility — link churn at low density",
+			Build: func(sel string) Scenario {
+				return Scenario{
+					Name:        "random-waypoint-sparse",
+					Description: "random waypoint, 1-5 units/s, target degree 6",
+					Topology:    Topology{Deployment: builtinDeployment(6)},
+					Protocol:    Protocol{Selector: sel},
+					Mobility:    waypoint(1, 5),
+					Duration:    120 * time.Second,
+				}
+			},
+		},
+		{
+			Name:        "random-waypoint-dense",
+			Description: "dense random-waypoint mobility — link churn with redundant paths",
+			Build: func(sel string) Scenario {
+				return Scenario{
+					Name:        "random-waypoint-dense",
+					Description: "random waypoint, 1-5 units/s, target degree 14",
+					Topology:    Topology{Deployment: builtinDeployment(14)},
+					Protocol:    Protocol{Selector: sel},
+					Mobility:    waypoint(1, 5),
+					Duration:    120 * time.Second,
+				}
+			},
+		},
+		{
+			Name:        "churn-storm",
+			Description: "waves of mass link failure and healing — repeated reconvergence under stress",
+			Build: func(sel string) Scenario {
+				sc := Scenario{
+					Name:        "churn-storm",
+					Description: "six waves: 10% of links fail, heal 5s later",
+					Topology:    Topology{Deployment: builtinDeployment(10)},
+					Protocol:    Protocol{Selector: sel},
+					Duration:    150 * time.Second,
+				}
+				for k := 0; k < 6; k++ {
+					at := time.Duration(30+10*k) * time.Second
+					sc.Phases = append(sc.Phases,
+						Phase{At: at, Action: FailFraction{Fraction: 0.1}},
+						Phase{At: at + 5*time.Second, Action: RestoreAll{}},
+					)
+				}
+				return sc
+			},
+		},
+	}
+}
+
+// Names lists the built-in scenario names in listing order.
+func Names() []string {
+	defs := BuiltIn()
+	names := make([]string, len(defs))
+	for i, d := range defs {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// ByName materialises a built-in scenario for one advertised-set selector
+// ("fnbp", "topofilter", "qolsr" or "full"; empty means "fnbp"). The result
+// is fully defaulted and valid.
+func ByName(name, selector string) (Scenario, error) {
+	if selector == "" {
+		selector = "fnbp"
+	}
+	if _, err := core.ByName(selector); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	for _, d := range BuiltIn() {
+		if d.Name == name {
+			return d.Build(selector).WithDefaults(), nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (have %s)", name, strings.Join(Names(), ", "))
+}

@@ -1,0 +1,347 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"qolsr/internal/stats"
+)
+
+// SchemaVersion identifies the scenario JSON encoding; bump it on breaking
+// changes to the document shape.
+const SchemaVersion = "qolsr-scenario/v1"
+
+// r6 rounds to 6 decimals so encoded documents are stable and readable.
+func r6(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Round(x*1e6) / 1e6
+}
+
+func secs(d time.Duration) float64 { return r6(d.Seconds()) }
+
+// jsonStat is one accumulated series in machine-readable form.
+type jsonStat struct {
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+	N    int     `json:"n"`
+}
+
+func statOf(a *stats.Accumulator) jsonStat {
+	return jsonStat{Mean: r6(a.Mean()), CI95: r6(a.CI95()), N: a.N()}
+}
+
+type jsonPhase struct {
+	AtS    float64 `json:"at_s"`
+	Action string  `json:"action"`
+}
+
+type jsonScenario struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description,omitempty"`
+	Selector    string      `json:"selector"`
+	Metric      string      `json:"metric"`
+	DurationS   float64     `json:"duration_s"`
+	WarmupS     float64     `json:"warmup_s"`
+	SampleS     float64     `json:"sample_every_s"`
+	Flows       int         `json:"flows"`
+	Mobility    bool        `json:"mobility"`
+	Phases      []jsonPhase `json:"phases,omitempty"`
+}
+
+type jsonSample struct {
+	TimeS         float64 `json:"t_s"`
+	Nodes         int     `json:"nodes"`
+	Links         int     `json:"links"`
+	Connected     int     `json:"connected"`
+	Delivered     int     `json:"delivered"`
+	Delivery      float64 `json:"delivery"`
+	HopStretch    float64 `json:"hop_stretch"`
+	Overhead      float64 `json:"overhead"`
+	OverheadFlows int     `json:"overhead_flows"`
+	ControlBPS    float64 `json:"control_bps"`
+	SetSize       float64 `json:"set_size"`
+}
+
+type jsonReconvergence struct {
+	Phase       string  `json:"phase"`
+	EventS      float64 `json:"event_s"`
+	Recovered   bool    `json:"recovered"`
+	RecoveredS  float64 `json:"recovered_s,omitempty"`
+	ReconvergeS float64 `json:"reconverge_s,omitempty"`
+}
+
+type jsonTotals struct {
+	HelloMessages uint64 `json:"hello_messages"`
+	HelloBytes    uint64 `json:"hello_bytes"`
+	TCMessages    uint64 `json:"tc_messages"`
+	TCBytes       uint64 `json:"tc_bytes"`
+	DataSent      uint64 `json:"data_sent"`
+	DataDelivered uint64 `json:"data_delivered"`
+	DataNoRoute   uint64 `json:"data_no_route"`
+	DataExpired   uint64 `json:"data_expired"`
+}
+
+type jsonRun struct {
+	Run           int                 `json:"run"`
+	Nodes         int                 `json:"nodes"`
+	Rebuilds      int                 `json:"rebuilds,omitempty"`
+	Samples       []jsonSample        `json:"samples"`
+	Reconvergence []jsonReconvergence `json:"reconvergence,omitempty"`
+	Totals        jsonTotals          `json:"totals"`
+}
+
+type jsonAggregate struct {
+	TimeS      float64  `json:"t_s"`
+	Delivery   jsonStat `json:"delivery"`
+	HopStretch jsonStat `json:"hop_stretch"`
+	Overhead   jsonStat `json:"overhead"`
+	ControlBPS jsonStat `json:"control_bps"`
+	SetSize    jsonStat `json:"set_size"`
+}
+
+type jsonDoc struct {
+	Schema    string          `json:"schema"`
+	Scenario  jsonScenario    `json:"scenario"`
+	Seed      int64           `json:"seed"`
+	Runs      int             `json:"runs"`
+	RunData   []jsonRun       `json:"run_results"`
+	Aggregate []jsonAggregate `json:"aggregate"`
+}
+
+func sampleJSON(s Sample) jsonSample {
+	return jsonSample{
+		TimeS:         secs(s.Time),
+		Nodes:         s.Nodes,
+		Links:         s.Links,
+		Connected:     s.Connected,
+		Delivered:     s.Delivered,
+		Delivery:      r6(s.Delivery),
+		HopStretch:    r6(s.HopStretch),
+		Overhead:      r6(s.Overhead),
+		OverheadFlows: s.OverheadFlows,
+		ControlBPS:    r6(s.ControlBPS),
+		SetSize:       r6(s.SetSize),
+	}
+}
+
+// EncodeJSON writes the result as an indented JSON document (schema
+// "qolsr-scenario/v1"): the executed program, per-run samples,
+// reconvergence records and traffic totals, and the cross-run aggregate.
+func (r *Result) EncodeJSON(w io.Writer) error {
+	sc := r.Scenario.WithDefaults()
+	doc := jsonDoc{
+		Schema: SchemaVersion,
+		Scenario: jsonScenario{
+			Name:        sc.Name,
+			Description: sc.Description,
+			Selector:    sc.Protocol.Selector,
+			Metric:      sc.Protocol.Metric.Name(),
+			DurationS:   secs(sc.Duration),
+			WarmupS:     secs(sc.Warmup),
+			SampleS:     secs(sc.SampleEvery),
+			Flows:       sc.Traffic.Flows,
+			Mobility:    sc.Mobility != nil,
+		},
+		Seed: r.Seed,
+		Runs: len(r.Runs),
+	}
+	for _, ph := range sc.Phases {
+		doc.Scenario.Phases = append(doc.Scenario.Phases, jsonPhase{AtS: secs(ph.At), Action: ph.Action.Describe()})
+	}
+	for _, run := range r.Runs {
+		if run == nil {
+			continue
+		}
+		jr := jsonRun{
+			Run:      run.Run,
+			Nodes:    run.Nodes,
+			Rebuilds: run.Rebuilds,
+			Totals: jsonTotals{
+				HelloMessages: run.Control.HelloMessages,
+				HelloBytes:    run.Control.HelloBytes,
+				TCMessages:    run.Control.TCMessages,
+				TCBytes:       run.Control.TCBytes,
+				DataSent:      run.Data.Sent,
+				DataDelivered: run.Data.Delivered,
+				DataNoRoute:   run.Data.NoRoute,
+				DataExpired:   run.Data.Expired,
+			},
+		}
+		for _, s := range run.Samples {
+			jr.Samples = append(jr.Samples, sampleJSON(s))
+		}
+		for _, rc := range run.Reconvergence {
+			jrc := jsonReconvergence{Phase: rc.Phase, EventS: secs(rc.EventTime), Recovered: rc.Recovered}
+			if rc.Recovered {
+				jrc.RecoveredS = secs(rc.RecoveredAt)
+				jrc.ReconvergeS = secs(rc.Duration())
+			}
+			jr.Reconvergence = append(jr.Reconvergence, jrc)
+		}
+		doc.RunData = append(doc.RunData, jr)
+	}
+	for _, agg := range r.Aggregate() {
+		doc.Aggregate = append(doc.Aggregate, jsonAggregate{
+			TimeS:      secs(agg.Time),
+			Delivery:   statOf(&agg.Delivery),
+			HopStretch: statOf(&agg.HopStretch),
+			Overhead:   statOf(&agg.Overhead),
+			ControlBPS: statOf(&agg.ControlBPS),
+			SetSize:    statOf(&agg.SetSize),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// EncodeCSV writes the result in long form, one row per (run, sample time,
+// quantity) — the shape plotting tools group and pivot directly. Each
+// reconvergence record adds one "reconverge_s" row at its event time (value
+// -1 when the run never recovered).
+func (r *Result) EncodeCSV(w io.Writer) error {
+	sc := r.Scenario.WithDefaults()
+	if _, err := fmt.Fprintln(w, "scenario,selector,run,time_s,quantity,value"); err != nil {
+		return err
+	}
+	row := func(run int, t, quantity, value string) error {
+		_, err := fmt.Fprintf(w, "%s,%s,%d,%s,%s,%s\n", sc.Name, sc.Protocol.Selector, run, t, quantity, value)
+		return err
+	}
+	for _, run := range r.Runs {
+		if run == nil {
+			continue
+		}
+		for _, s := range run.Samples {
+			t := fmt.Sprintf("%g", secs(s.Time))
+			cells := []struct {
+				q, v string
+			}{
+				{"nodes", fmt.Sprintf("%d", s.Nodes)},
+				{"links", fmt.Sprintf("%d", s.Links)},
+				{"connected", fmt.Sprintf("%d", s.Connected)},
+				{"delivered", fmt.Sprintf("%d", s.Delivered)},
+				{"delivery", fmt.Sprintf("%.6f", r6(s.Delivery))},
+				{"hop_stretch", fmt.Sprintf("%.6f", r6(s.HopStretch))},
+				{"overhead", fmt.Sprintf("%.6f", r6(s.Overhead))},
+				{"overhead_flows", fmt.Sprintf("%d", s.OverheadFlows)},
+				{"control_bps", fmt.Sprintf("%.6f", r6(s.ControlBPS))},
+				{"set_size", fmt.Sprintf("%.6f", r6(s.SetSize))},
+			}
+			for _, c := range cells {
+				if err := row(run.Run, t, c.q, c.v); err != nil {
+					return err
+				}
+			}
+		}
+		for _, rc := range run.Reconvergence {
+			v := "-1"
+			if rc.Recovered {
+				v = fmt.Sprintf("%.6f", secs(rc.Duration()))
+			}
+			if err := row(run.Run, fmt.Sprintf("%g", secs(rc.EventTime)), "reconverge_s", v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTable renders the cross-run aggregate as an aligned text table, plus
+// a reconvergence summary per disruptive phase.
+func (r *Result) WriteTable(w io.Writer) error {
+	sc := r.Scenario.WithDefaults()
+	var nodes stats.Accumulator
+	for _, run := range r.Runs {
+		if run != nil {
+			nodes.Add(float64(run.Nodes))
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# scenario %s — selector %s (%d runs, %.0f nodes avg)\n",
+		sc.Name, sc.Protocol.Selector, len(r.Runs), nodes.Mean()); err != nil {
+		return err
+	}
+	header := []string{"t_s", "delivery", "±95%", "stretch", "overhead", "ctrlB/s", "set"}
+	if _, err := fmt.Fprintln(w, strings.Join(padCells(header), "  ")); err != nil {
+		return err
+	}
+	for _, agg := range r.Aggregate() {
+		cells := []string{
+			fmt.Sprintf("%g", secs(agg.Time)),
+			fmt.Sprintf("%.4f", agg.Delivery.Mean()),
+			fmt.Sprintf("%.4f", agg.Delivery.CI95()),
+			fmt.Sprintf("%.3f", agg.HopStretch.Mean()),
+			fmt.Sprintf("%.4f", agg.Overhead.Mean()),
+			fmt.Sprintf("%.0f", agg.ControlBPS.Mean()),
+			fmt.Sprintf("%.2f", agg.SetSize.Mean()),
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(padCells(cells), "  ")); err != nil {
+			return err
+		}
+	}
+	return r.writeReconvergence(w)
+}
+
+// writeReconvergence summarises recovery per disruptive phase across runs.
+func (r *Result) writeReconvergence(w io.Writer) error {
+	type key struct {
+		phase  string
+		eventS float64
+	}
+	var order []key
+	recovered := make(map[key]int)
+	total := make(map[key]int)
+	durations := make(map[key]*stats.Accumulator)
+	for _, run := range r.Runs {
+		if run == nil {
+			continue
+		}
+		for _, rc := range run.Reconvergence {
+			k := key{phase: rc.Phase, eventS: secs(rc.EventTime)}
+			if total[k] == 0 {
+				order = append(order, k)
+				durations[k] = &stats.Accumulator{}
+			}
+			total[k]++
+			if rc.Recovered {
+				recovered[k]++
+				durations[k].Add(rc.Duration().Seconds())
+			}
+		}
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "# reconvergence"); err != nil {
+		return err
+	}
+	for _, k := range order {
+		mean := "n/a"
+		if recovered[k] > 0 {
+			mean = fmt.Sprintf("%.1fs", durations[k].Mean())
+		}
+		if _, err := fmt.Fprintf(w, "%s @%gs: mean %s (%d/%d runs recovered)\n",
+			k.phase, k.eventS, mean, recovered[k], total[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func padCells(cells []string) []string {
+	const width = 10
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if len(c) < width {
+			c = c + strings.Repeat(" ", width-len(c))
+		}
+		out[i] = c
+	}
+	return out
+}

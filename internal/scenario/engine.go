@@ -1,0 +1,433 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"qolsr/internal/core"
+	"qolsr/internal/geom"
+	"qolsr/internal/graph"
+	"qolsr/internal/metric"
+	"qolsr/internal/olsr"
+	"qolsr/internal/route"
+	"qolsr/internal/sim"
+)
+
+// propDelay is the per-hop radio delay scenarios run with; the probe drain
+// window is derived from it, so the engine pins it rather than inheriting
+// the simulator default.
+const propDelay = time.Millisecond
+
+// flow is one persistent probe (source, destination) pair.
+type flow struct{ src, dst int32 }
+
+// disruption records one fired disruptive phase for reconvergence tracking.
+type disruption struct {
+	desc string
+	at   time.Duration
+}
+
+// Execute runs one replicate of sc: every RNG stream derives from (seed,
+// run) alone, so replicates are independent and the same (scenario, seed,
+// run) triple always reproduces the same RunResult bit for bit. emit, when
+// non-nil, receives each Sample as soon as it is measured. Cancelling ctx
+// stops between samples and returns ctx.Err().
+func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sample)) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sc = sc.WithDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if seed == 0 {
+		seed = 1
+	}
+
+	pts, err := samplePoints(sc, seed, run)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := protocolConfig(sc.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	channel := cfg.Metric.Name()
+	field := sc.Topology.field()
+	radius := sc.Topology.radius()
+	netOpts := sim.NetworkOptions{
+		PropDelay: propDelay,
+		Seed:      deriveSeed(seed, "protocol", run),
+	}
+
+	// Deploy: a mobile population or a static unit-disk network. Both use
+	// stable per-pair link weights, so a link that breaks and re-forms
+	// keeps its QoS value.
+	var (
+		nw *sim.Network
+		ms *sim.MobileSim
+	)
+	if sc.Mobility != nil {
+		model := sc.Mobility.Model
+		model.Field = field
+		ms, err = sim.NewMobileSim(model, pts, radius, cfg, netOpts,
+			sc.Mobility.RebuildEvery, deriveSeed(seed, "mobility", run))
+		if err != nil {
+			return nil, err
+		}
+		nw = ms.NW
+	} else {
+		g, err := sim.UnitDiskTopology(field, radius, pts, channel, netOpts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		nw, err = sim.NewNetwork(g, cfg, netOpts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	positions := func() []geom.Point {
+		if ms != nil {
+			ms.Mob.AdvanceTo(nw.Engine.Now())
+			return ms.Mob.Positions()
+		}
+		return pts
+	}
+
+	flows := drawFlows(sc.Traffic.Flows, nw.Phys.N(), deriveSeed(seed, "traffic", run))
+
+	if ms != nil {
+		ms.Start()
+	} else {
+		nw.Start()
+	}
+
+	// Timeline: apply each phase at its virtual time. Equal-time phases
+	// fire in timeline order (the engine breaks ties by scheduling order).
+	env := &actionEnv{
+		nw:        nw,
+		field:     field,
+		rng:       rand.New(rand.NewSource(deriveSeed(seed, "events", run))),
+		positions: positions,
+	}
+	phases := append([]Phase(nil), sc.Phases...)
+	sort.SliceStable(phases, func(i, j int) bool { return phases[i].At < phases[j].At })
+	var (
+		disruptions []disruption
+		phaseErr    error
+	)
+	for _, ph := range phases {
+		ph := ph
+		nw.Engine.At(ph.At, func() {
+			if phaseErr != nil {
+				return
+			}
+			if err := ph.Action.apply(env); err != nil {
+				phaseErr = fmt.Errorf("scenario %s: phase %q at %v: %w", sc.Name, ph.Action.Describe(), ph.At, err)
+				return
+			}
+			if ph.Action.Disruptive() {
+				disruptions = append(disruptions, disruption{desc: ph.Action.Describe(), at: nw.Engine.Now()})
+			}
+		})
+	}
+
+	res := &RunResult{Run: run, Nodes: nw.Phys.N()}
+	drain := time.Duration(sim.DefaultDataTTL+2) * propDelay
+	var (
+		prevT     time.Duration
+		prevBytes uint64
+	)
+	for _, t := range sc.SampleTimes() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		nw.Run(t)
+		if phaseErr != nil {
+			return nil, phaseErr
+		}
+		s, ctrl := measure(nw, cfg.Metric, channel, flows, t, prevT, prevBytes, drain)
+		prevT = t
+		prevBytes = ctrl
+		res.Samples = append(res.Samples, s)
+		if emit != nil {
+			emit(s)
+		}
+	}
+	// Phases may be scheduled after the last sample time (Validate allows
+	// any At <= Duration): run the timeline out so they fire, and surface
+	// errors they raise — including ones raised during the final sample's
+	// drain window above.
+	nw.Run(sc.Duration)
+	if phaseErr != nil {
+		return nil, phaseErr
+	}
+
+	res.Reconvergence = reconvergence(res.Samples, disruptions, sc.Duration)
+	res.Control = nw.Stats
+	res.Data = nw.Data
+	if ms != nil {
+		res.Rebuilds = ms.Rebuilds
+	}
+	return res, nil
+}
+
+// reconvergence derives the recovery record of each disruptive phase from
+// the sample series. Recovery means the delivery ratio is back at the
+// pre-event baseline — the last sample strictly before the event (full
+// delivery when none exists; protocols like FNBP can sit below full
+// delivery in steady state, so an absolute criterion would be unreachable).
+// Degradation may surface only after the soft-state hold time, so the
+// search first finds the delivery trough in the event's window, then the
+// first sample at or after the trough that is back at baseline. A window
+// with no dip below baseline recovers at its first sample. Both searches
+// stop at the next disruption: delivery restored only after a later phase
+// intervened (e.g. a scheduled heal) is that phase's doing, and attributing
+// it here would mask the protocol's own recovery speed — the window reports
+// not-recovered instead.
+//
+// Window membership honours the engine's event order: phases at time t fire
+// before the sample at t is measured, so a sample taken exactly at a
+// phase's fire time reflects that phase and belongs to its window, not the
+// previous one.
+func reconvergence(samples []Sample, disruptions []disruption, duration time.Duration) []Reconvergence {
+	var out []Reconvergence
+	for i, d := range disruptions {
+		rc := Reconvergence{Phase: d.desc, EventTime: d.at}
+		baseline := 1.0
+		for _, s := range samples {
+			if s.Time >= d.at {
+				break
+			}
+			baseline = s.Delivery
+		}
+		// The last window runs through the end of the run inclusive;
+		// earlier windows end exclusively at the next disruption.
+		inWindow := func(t time.Duration) bool { return t >= d.at && t <= duration }
+		if i+1 < len(disruptions) {
+			next := disruptions[i+1].at
+			inWindow = func(t time.Duration) bool { return t >= d.at && t < next }
+		}
+		troughAt := time.Duration(-1)
+		trough := baseline
+		for _, s := range samples {
+			if !inWindow(s.Time) {
+				continue
+			}
+			if s.Delivery < trough {
+				trough = s.Delivery
+				troughAt = s.Time
+			}
+		}
+		for _, s := range samples {
+			if !inWindow(s.Time) || s.Time < troughAt {
+				continue
+			}
+			if s.Delivery >= baseline {
+				rc.Recovered = true
+				rc.RecoveredAt = s.Time
+				break
+			}
+		}
+		out = append(out, rc)
+	}
+	return out
+}
+
+// measure takes one sample at virtual time t: it snapshots control traffic
+// and advertised sets, evaluates the sources' routing tables against the
+// centralized optimum on the current effective topology, injects one probe
+// packet per flow and runs the engine through the drain window so every
+// packet completes. It returns the sample and the control-byte counter as
+// of t — the caller must carry that (not the post-drain counter) into the
+// next sample's rate, or control messages sent during each drain window
+// would vanish from every rate.
+func measure(nw *sim.Network, m metric.Metric, channel string, flows []flow, t, prevT time.Duration, prevBytes uint64, drain time.Duration) (Sample, uint64) {
+	s := Sample{Time: t, Nodes: nw.Phys.N()}
+
+	ctrl := nw.Stats.HelloBytes + nw.Stats.TCBytes
+	if secs := (t - prevT).Seconds(); secs > 0 {
+		s.ControlBPS = float64(ctrl-prevBytes) / secs
+	}
+	if sets, err := nw.ANSSets(); err == nil && len(sets) > 0 {
+		total := 0
+		for _, set := range sets {
+			total += len(set)
+		}
+		s.SetSize = float64(total) / float64(len(sets))
+	}
+
+	eff, w := effectiveTopology(nw, channel)
+	s.Links = eff.M()
+
+	// Per-source searches are shared across flows with the same source.
+	hopSPs := make(map[int32]*graph.ShortestPaths)
+	optSPs := make(map[int32]*graph.ShortestPaths)
+	tables := make(map[int32]map[int64]olsr.Route)
+	var (
+		stretchSum  float64
+		stretchN    int
+		overheadSum float64
+		overheadN   int
+	)
+	for _, f := range flows {
+		if eff.M() == 0 {
+			break
+		}
+		hopSP := hopSPs[f.src]
+		if hopSP == nil {
+			hopSP = graph.Dijkstra(eff, metric.Hop(), w, f.src, nil, -1)
+			hopSPs[f.src] = hopSP
+		}
+		if !hopSP.Reachable(f.dst) {
+			continue
+		}
+		s.Connected++
+		optHops := hopSP.Dist[f.dst]
+
+		// Routing-table overhead: what the source would achieve right
+		// now against the optimum on the live physical topology.
+		table, ok := tables[f.src]
+		if !ok {
+			table, _ = nw.Nodes[f.src].RoutingTable(nw.Engine.Now())
+			tables[f.src] = table
+		}
+		if entry, ok := table[int64(nw.Phys.ID(f.dst))]; ok {
+			optSP := optSPs[f.src]
+			if optSP == nil {
+				optSP = graph.Dijkstra(eff, m, w, f.src, nil, -1)
+				optSPs[f.src] = optSP
+			}
+			if optSP.Reachable(f.dst) {
+				overheadSum += route.Overhead(m, entry.Value, optSP.Dist[f.dst])
+				overheadN++
+			}
+		}
+
+		nw.SendData(f.src, f.dst, func(ok bool, hops int, _ time.Duration) {
+			if !ok {
+				return
+			}
+			s.Delivered++
+			if optHops > 0 {
+				stretchSum += float64(hops) / optHops
+				stretchN++
+			}
+		})
+	}
+	nw.Run(t + drain)
+
+	s.Delivery = 1
+	if s.Connected > 0 {
+		s.Delivery = float64(s.Delivered) / float64(s.Connected)
+	}
+	if stretchN > 0 {
+		s.HopStretch = stretchSum / float64(stretchN)
+	}
+	s.OverheadFlows = overheadN
+	if overheadN > 0 {
+		s.Overhead = overheadSum / float64(overheadN)
+	}
+	return s, ctrl
+}
+
+// effectiveTopology returns the physical graph minus failed links, with the
+// metric channel's weights copied over — what an omniscient router could
+// use right now. The weight slice is nil when the graph has no edges.
+func effectiveTopology(nw *sim.Network, channel string) (*graph.Graph, []float64) {
+	phys := nw.Phys
+	w, err := phys.Weights(channel)
+	if err != nil {
+		return graph.New(phys.N()), nil
+	}
+	eff := graph.New(phys.N())
+	for a := int32(0); int(a) < phys.N(); a++ {
+		for _, arc := range phys.Arcs(a) {
+			if a >= arc.To || !nw.LinkUp(a, arc.To) {
+				continue
+			}
+			e, err := eff.AddEdge(a, arc.To)
+			if err != nil {
+				continue
+			}
+			_ = eff.SetWeight(channel, e, w[arc.Edge])
+		}
+	}
+	ew, err := eff.Weights(channel)
+	if err != nil {
+		return eff, nil
+	}
+	return eff, ew
+}
+
+// samplePoints realises the topology source for one run.
+func samplePoints(sc Scenario, seed int64, run int) ([]geom.Point, error) {
+	if sc.Topology.Deployment == nil {
+		return sc.Topology.Points, nil
+	}
+	rng := rand.New(rand.NewSource(deriveSeed(seed, "topology", run)))
+	// Very sparse deployments can realise fewer than two nodes; resample
+	// a bounded number of times from the same stream (still a pure
+	// function of (seed, run)) before giving up.
+	for try := 0; try < 8; try++ {
+		pts, err := sc.Topology.Deployment.Sample(rng)
+		if err != nil {
+			return nil, err
+		}
+		if len(pts) >= 2 {
+			return pts, nil
+		}
+	}
+	return nil, fmt.Errorf("scenario %s: deployment too sparse, fewer than 2 nodes in 8 draws", sc.Name)
+}
+
+// protocolConfig materialises the per-node stack configuration.
+func protocolConfig(p Protocol) (olsr.Config, error) {
+	sel, err := core.ByName(p.Selector)
+	if err != nil {
+		return olsr.Config{}, fmt.Errorf("scenario: %w", err)
+	}
+	cfg := olsr.DefaultConfig(p.Metric)
+	cfg.Selector = sel
+	if p.HelloInterval > 0 {
+		cfg.HelloInterval = p.HelloInterval
+		cfg.NeighborHoldTime = 3 * p.HelloInterval
+	}
+	if p.TCInterval > 0 {
+		cfg.TCInterval = p.TCInterval
+		cfg.TopologyHoldTime = 3 * p.TCInterval
+	}
+	return cfg, nil
+}
+
+// drawFlows picks the persistent probe pairs: uniform ordered (src, dst)
+// pairs with src != dst, clamped to the number of distinct pairs.
+func drawFlows(count, n int, seed int64) []flow {
+	if n < 2 {
+		return nil
+	}
+	if max := n * (n - 1); count > max {
+		count = max
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[flow]bool, count)
+	out := make([]flow, 0, count)
+	for len(out) < count {
+		f := flow{src: int32(rng.Intn(n))}
+		d := int32(rng.Intn(n - 1))
+		if d >= f.src {
+			d++
+		}
+		f.dst = d
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		out = append(out, f)
+	}
+	return out
+}

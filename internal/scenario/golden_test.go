@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Regenerate the golden files after an intentional encoding change with:
+//
+//	go test ./internal/scenario -run TestGolden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite the scenario encoder golden files")
+
+// goldenResult executes the ladder fixture for two replicates — the exact
+// document the encoders must keep producing byte for byte.
+func goldenResult(t *testing.T) *Result {
+	t.Helper()
+	sc := ladderScenario().WithDefaults()
+	res := &Result{Scenario: sc, Seed: 1}
+	for run := 0; run < 2; run++ {
+		rr, err := Execute(context.Background(), sc, 1, run, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Runs = append(res.Runs, rr)
+	}
+	return res
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file; inspect the diff and rerun with -update-golden if intended\ngot:\n%s", name, got)
+	}
+}
+
+func TestGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenResult(t).EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "ladder.json.golden", buf.Bytes())
+}
+
+func TestGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenResult(t).EncodeCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "ladder.csv.golden", buf.Bytes())
+}

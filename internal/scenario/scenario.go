@@ -1,0 +1,238 @@
+// Package scenario defines deterministic, composable dynamic-network
+// scenarios for the live OLSR/QOLSR stack: a topology source, a protocol
+// configuration, a timeline of phases (mobility, link-failure/restore
+// schedules, partitions), a probe-traffic workload on the data plane, and
+// measurement samples taken at a fixed virtual-time cadence (delivery
+// ratio, hop stretch, routing overhead vs. the optimum, control traffic,
+// advertised-set sizes, reconvergence time after churn).
+//
+// The paper evaluates FNBP only on static random graphs; scenarios exercise
+// the regime OLSR's soft-state design exists for — mobility, link churn and
+// partition healing — on the same protocol implementations. Every scenario
+// run is a pure function of (scenario, seed, run index): replicate runs are
+// independent, so the runner can parallelize them while keeping results
+// bit-identical for any worker count.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"qolsr/internal/core"
+	"qolsr/internal/geom"
+	"qolsr/internal/metric"
+)
+
+// Topology chooses where the scenario's nodes come from. Exactly one of
+// Deployment and Points must be set.
+type Topology struct {
+	// Deployment, when non-nil, samples node positions from the Poisson
+	// point process independently per run (the paper's deployment model).
+	Deployment *geom.Deployment
+	// Points places nodes explicitly; every run then starts from the same
+	// geometry. Field and Radius are required alongside Points.
+	Points []geom.Point
+	// Field is the deployment area for explicit Points.
+	Field geom.Field
+	// Radius is the unit-disk communication radius for explicit Points.
+	Radius float64
+}
+
+// Validate checks the topology source.
+func (t Topology) Validate() error {
+	switch {
+	case t.Deployment != nil && len(t.Points) > 0:
+		return fmt.Errorf("scenario: topology sets both Deployment and Points")
+	case t.Deployment != nil:
+		return t.Deployment.Validate()
+	case len(t.Points) > 0:
+		if err := t.Field.Validate(); err != nil {
+			return err
+		}
+		if !(t.Radius > 0) {
+			return fmt.Errorf("scenario: radius %g must be positive", t.Radius)
+		}
+		for i, p := range t.Points {
+			if !t.Field.Contains(p) {
+				return fmt.Errorf("scenario: point %d %v outside field", i, p)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("scenario: topology needs a Deployment or explicit Points")
+	}
+}
+
+// field returns the deployment area regardless of the source.
+func (t Topology) field() geom.Field {
+	if t.Deployment != nil {
+		return t.Deployment.Field
+	}
+	return t.Field
+}
+
+// radius returns the communication radius regardless of the source.
+func (t Topology) radius() float64 {
+	if t.Deployment != nil {
+		return t.Deployment.Radius
+	}
+	return t.Radius
+}
+
+// Protocol configures the stack every node runs. The zero value means FNBP
+// selection under the bandwidth metric with RFC-style timers.
+type Protocol struct {
+	// Metric is the QoS metric driving selection and routing (default
+	// bandwidth).
+	Metric metric.Metric
+	// Selector names the advertised-set scheme: "fnbp", "topofilter",
+	// "qolsr" or "full" (default "fnbp").
+	Selector string
+	// HelloInterval and TCInterval override the emission periods when
+	// positive (defaults 2s and 5s, RFC 3626).
+	HelloInterval time.Duration
+	TCInterval    time.Duration
+}
+
+// Mobility couples the scenario to a waypoint model for its whole duration.
+type Mobility struct {
+	// Model is the random-waypoint parameterisation (field is overridden
+	// by the scenario's topology field).
+	Model geom.Waypoint
+	// RebuildEvery is the topology-refresh period (default 1s).
+	RebuildEvery time.Duration
+}
+
+// Traffic is the probe workload: persistent random (source, destination)
+// flows, each sending one data-plane packet per measurement sample.
+type Traffic struct {
+	// Flows is the number of persistent probe flows (default 10, clamped
+	// to the available ordered pairs).
+	Flows int
+}
+
+// Phase is one timeline entry: an action applied at a virtual time.
+type Phase struct {
+	// At is the virtual time the action fires.
+	At time.Duration
+	// Action is what happens.
+	Action Action
+}
+
+// Scenario is one declarative dynamic-network program. Build literals, or
+// fetch a parameterised built-in with ByName.
+type Scenario struct {
+	// Name identifies the scenario in encodings and tables.
+	Name string
+	// Description is a one-line summary (built-ins fill it).
+	Description string
+	// Topology is the node source.
+	Topology Topology
+	// Protocol configures the per-node stack.
+	Protocol Protocol
+	// Mobility, when non-nil, moves the nodes for the whole run.
+	Mobility *Mobility
+	// Traffic is the probe workload.
+	Traffic Traffic
+	// Phases is the timeline of actions, in any order (the engine sorts).
+	Phases []Phase
+	// Duration is the simulated virtual time per run (default 60s).
+	Duration time.Duration
+	// Warmup is the first sample time — earlier behaviour is protocol
+	// cold-start, not scenario signal (default min(Duration/3, 20s)).
+	Warmup time.Duration
+	// SampleEvery is the measurement cadence (default 2s, minimum 100ms
+	// so probe packets drain between samples).
+	SampleEvery time.Duration
+}
+
+// WithDefaults returns a copy with every unset knob at its default.
+func (sc Scenario) WithDefaults() Scenario {
+	if sc.Name == "" {
+		sc.Name = "custom"
+	}
+	if sc.Protocol.Metric == nil {
+		sc.Protocol.Metric = metric.Bandwidth()
+	}
+	if sc.Protocol.Selector == "" {
+		sc.Protocol.Selector = "fnbp"
+	}
+	if sc.Traffic.Flows <= 0 {
+		sc.Traffic.Flows = 10
+	}
+	if sc.Duration <= 0 {
+		sc.Duration = 60 * time.Second
+	}
+	if sc.Warmup <= 0 {
+		sc.Warmup = sc.Duration / 3
+		if sc.Warmup > 20*time.Second {
+			sc.Warmup = 20 * time.Second
+		}
+	}
+	if sc.SampleEvery <= 0 {
+		sc.SampleEvery = 2 * time.Second
+	}
+	if sc.Mobility != nil && sc.Mobility.RebuildEvery <= 0 {
+		m := *sc.Mobility
+		m.RebuildEvery = time.Second
+		sc.Mobility = &m
+	}
+	return sc
+}
+
+// minSampleEvery keeps the probe drain window (TTL hops of propagation
+// delay) strictly inside one sampling interval.
+const minSampleEvery = 100 * time.Millisecond
+
+// Validate checks the scenario after defaulting. ByName output and
+// WithDefaults results always validate.
+func (sc Scenario) Validate() error {
+	if err := sc.Topology.Validate(); err != nil {
+		return err
+	}
+	if sc.Protocol.Metric == nil {
+		return fmt.Errorf("scenario: protocol needs a metric")
+	}
+	if _, err := core.ByName(sc.Protocol.Selector); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if sc.Duration <= 0 {
+		return fmt.Errorf("scenario: non-positive duration %v", sc.Duration)
+	}
+	if sc.SampleEvery < minSampleEvery {
+		return fmt.Errorf("scenario: sample interval %v below minimum %v", sc.SampleEvery, minSampleEvery)
+	}
+	if sc.Warmup > sc.Duration {
+		return fmt.Errorf("scenario: warmup %v exceeds duration %v", sc.Warmup, sc.Duration)
+	}
+	if sc.Mobility != nil {
+		model := sc.Mobility.Model
+		model.Field = sc.Topology.field()
+		if err := model.Validate(); err != nil {
+			return err
+		}
+	}
+	for i, ph := range sc.Phases {
+		if ph.Action == nil {
+			return fmt.Errorf("scenario: phase %d has no action", i)
+		}
+		if ph.At < 0 || ph.At > sc.Duration {
+			return fmt.Errorf("scenario: phase %d at %v outside [0,%v]", i, ph.At, sc.Duration)
+		}
+		if err := ph.Action.validate(); err != nil {
+			return fmt.Errorf("scenario: phase %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SampleTimes returns the virtual times measurements are taken at, after
+// defaulting: Warmup, Warmup+SampleEvery, ... up to Duration.
+func (sc Scenario) SampleTimes() []time.Duration {
+	sc = sc.WithDefaults()
+	var ts []time.Duration
+	for t := sc.Warmup; t <= sc.Duration; t += sc.SampleEvery {
+		ts = append(ts, t)
+	}
+	return ts
+}

@@ -1,0 +1,17 @@
+package scenario
+
+import "qolsr/internal/rng"
+
+// deriveSeed chains the scenario's base seed with a purpose label and the
+// run index into an independent RNG stream (splitmix64, the same mixing
+// function the sweep harness uses). Labeled streams keep topology, protocol
+// jitter, traffic and event randomness decoupled: changing the flow count,
+// say, never perturbs the sampled topology.
+func deriveSeed(base int64, label string, run int) int64 {
+	h := rng.Splitmix64(uint64(base))
+	for _, c := range label {
+		h = rng.Splitmix64(h ^ uint64(c))
+	}
+	h = rng.Splitmix64(h ^ uint64(run))
+	return int64(h)
+}

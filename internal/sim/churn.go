@@ -29,6 +29,14 @@ func (nw *Network) RestoreLink(a, b int32) error {
 	return nil
 }
 
+// RestoreAllLinks brings every failed link back, including links whose
+// endpoints are momentarily out of range under mobility — the pair is
+// usable again whenever the geometry re-forms it. (Restoring only the
+// links of the current topology would leave such pairs down forever.)
+func (nw *Network) RestoreAllLinks() {
+	nw.down = nil
+}
+
 // LinkUp reports whether the physical link {a,b} is currently usable.
 func (nw *Network) LinkUp(a, b int32) bool {
 	return !nw.down[linkKey(a, b)]

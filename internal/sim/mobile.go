@@ -110,7 +110,15 @@ func (ms *MobileSim) refresh() {
 }
 
 func (ms *MobileSim) buildTopology(pts []geom.Point, channel string) (*graph.Graph, error) {
-	links, err := geom.Links(ms.field, ms.radius, pts)
+	return UnitDiskTopology(ms.field, ms.radius, pts, channel, ms.seed)
+}
+
+// UnitDiskTopology builds the unit-disk graph of the given positions with
+// stable per-pair link weights (PairWeight) on the named channel: the same
+// (seed, pair) always carries the same weight, so topologies rebuilt under
+// mobility or rebuilt per scenario keep consistent QoS values.
+func UnitDiskTopology(field geom.Field, radius float64, pts []geom.Point, channel string, seed int64) (*graph.Graph, error) {
+	links, err := geom.Links(field, radius, pts)
 	if err != nil {
 		return nil, err
 	}
@@ -120,13 +128,13 @@ func (ms *MobileSim) buildTopology(pts []geom.Point, channel string) (*graph.Gra
 		if err != nil {
 			return nil, err
 		}
-		if err := g.SetWeight(channel, e, PairWeight(ms.seed, l[0], l[1])); err != nil {
+		if err := g.SetWeight(channel, e, PairWeight(seed, l[0], l[1])); err != nil {
 			return nil, err
 		}
 	}
 	// Ensure the channel exists even on a momentarily edgeless topology.
 	if g.M() == 0 {
-		if err := g.AssignUniformWeights(channel, weightLawForEmpty(), randFromSeed(ms.seed)); err != nil {
+		if err := g.AssignUniformWeights(channel, weightLawForEmpty(), randFromSeed(seed)); err != nil {
 			return nil, err
 		}
 	}

@@ -27,6 +27,8 @@ const (
 var (
 	// PolicyByName resolves "qos-optimal" or "minhop-then-qos".
 	PolicyByName = route.PolicyByName
+	// RoutePolicyNames lists every routing policy's string form.
+	RoutePolicyNames = route.PolicyNames
 	// BuildAdvertised materialises the network-wide advertised topology.
 	BuildAdvertised = route.BuildAdvertised
 	// EvaluatePair routes one pair and compares with the optimum.
