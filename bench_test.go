@@ -346,6 +346,33 @@ func BenchmarkScenario(b *testing.B) {
 	b.ReportMetric(last.Delivery.Mean(), "delivery")
 }
 
+// BenchmarkDataplaneForwarding measures the data-plane hot path: a converged
+// paper-scale network forwards one full delivery sweep (every node sends one
+// packet to the sink) per iteration. Each hop consults the arrival node's
+// routing table, so this benchmark tracks the cost of table lookups under a
+// steady control plane — the path the scenario engine's probe flows and the
+// delivery experiments live on.
+func BenchmarkDataplaneForwarding(b *testing.B) {
+	m := qolsr.Bandwidth()
+	g := benchNetwork(b, 15, m.Name())
+	cfg := qolsr.DefaultProtocolConfig(m)
+	nw, err := qolsr.NewNetwork(g, cfg, qolsr.NetworkOptions{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw.Start()
+	nw.Run(30 * time.Second)
+	b.ReportMetric(float64(g.N()), "nodes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ratio := nw.DeliverySweep(0); ratio == 0 {
+			b.Fatal("nothing delivered")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(nw.Data.Delivered)/float64(nw.Data.Sent), "delivery")
+}
+
 // BenchmarkProtocolConvergence measures wall time to simulate 30 virtual
 // seconds of the full stack.
 func BenchmarkProtocolConvergence(b *testing.B) {

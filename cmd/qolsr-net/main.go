@@ -132,18 +132,14 @@ func run() error {
 		s.HelloMessages, s.HelloBytes, s.TCMessages, s.TCBytes, nw.ControlBytesPerSecond())
 
 	// Sample routing table from node 0.
-	table, err := nw.Nodes[0].RoutingTable(nw.Engine.Now())
+	routes, err := nw.Nodes[0].Routes(nw.Engine.Now())
 	if err != nil {
 		return err
 	}
-	fmt.Printf("node %d routing table: %d destinations", nw.Nodes[0].ID, len(table))
-	shown := 0
-	for dst, r := range table {
-		if shown >= 5 {
-			break
-		}
+	fmt.Printf("node %d routing table: %d destinations", nw.Nodes[0].ID, routes.Len())
+	for i := 0; i < routes.Len() && i < 5; i++ {
+		dst, r := routes.At(i)
 		fmt.Printf("\n  -> %d via %d (%s %.2f, %d hops)", dst, r.NextHop, m.Name(), r.Value, r.Hops)
-		shown++
 	}
 	fmt.Println()
 	return nil

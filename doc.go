@@ -80,6 +80,24 @@
 // determinism guarantee as the sweeps: every run's RNG streams derive from
 // (seed, run), so results are bit-identical for any WithWorkers value.
 //
+// # Cached routing
+//
+// Protocol nodes follow link-state practice: routes are recomputed on state
+// change, not on lookup. Every content-changing mutation of a node's soft
+// state — a link update, HELLO/TC ingestion that alters advertised content,
+// or a virtual-time expiry — bumps a topology version; the local view, the
+// known topology and the routing table are cached artifacts rebuilt only
+// when the version moved. Re-announcements of unchanged content (the
+// steady-state regime) merely extend validity deadlines, and a min-expiry
+// watermark keeps the expiry check O(1) while nothing can be stale, so a
+// converged network serves lookups from cache indefinitely. Node.Routes
+// returns a read-only Routes snapshot with an allocation-free Lookup;
+// successive calls between state changes return the same snapshot, and a
+// retained snapshot stays consistent after the node rebuilds. Caching never
+// changes which table a data packet sees at a given virtual time — only how
+// it is computed — a guarantee locked by the golden and worker-determinism
+// tests.
+//
 // # Quick start
 //
 //	dep := qolsr.PaperDeployment(15)                  // δ=15, 1000×1000, R=100

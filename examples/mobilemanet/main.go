@@ -72,7 +72,7 @@ func runAt(maxSpeed float64) (freshness, routedFrac float64, rebuilds int) {
 		freshness = float64(current) / float64(known)
 	}
 
-	table, err := ms.NW.Nodes[0].RoutingTable(now)
+	table, err := ms.NW.Nodes[0].Routes(now)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func runAt(maxSpeed float64) (freshness, routedFrac float64, rebuilds int) {
 			continue
 		}
 		reach++
-		if _, ok := table[int64(x)]; ok {
+		if _, ok := table.Lookup(int64(x)); ok {
 			routed++
 		}
 	}

@@ -56,16 +56,16 @@ func main() {
 	// Each sensor forwards its reading hop-by-hop using the routing
 	// tables its own protocol instance computed.
 	now := nw.Engine.Now()
-	tables := make([]map[int64]qolsr.Route, g.N())
+	tables := make([]*qolsr.Routes, g.N())
 	for i, node := range nw.Nodes {
-		tbl, err := node.RoutingTable(now)
+		tbl, err := node.Routes(now)
 		if err != nil {
 			log.Fatal(err)
 		}
 		tables[i] = tbl
 	}
 	next := func(at, dst int32) int32 {
-		r, ok := tables[at][int64(g.ID(dst))]
+		r, ok := tables[at].Lookup(int64(g.ID(dst)))
 		if !ok {
 			return -1
 		}

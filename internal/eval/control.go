@@ -48,6 +48,12 @@ type ControlPoint struct {
 	HelloBytesPerSec stats.Accumulator
 	// SetSize is the mean advertised-set size observed on the wire.
 	SetSize stats.Accumulator
+	// Delivery is the data-plane delivery ratio of a full sweep to node 0
+	// after SimTime: every node forwards one packet to the sink over its
+	// own routing table. Cheap under the versioned routing core (tables
+	// are cached per node), it ties the control-plane cost directly to
+	// what the data plane gets for it.
+	Delivery stats.Accumulator
 }
 
 // ControlSweepResult is the outcome of RunControlSweep.
@@ -141,6 +147,10 @@ func RunControlSweep(ctx context.Context, opts ControlSweepOptions) (*ControlSwe
 					total += len(s)
 				}
 				row[si].SetSize.Add(float64(total) / float64(len(sets)))
+				// Data-plane check after the counters are snapshotted
+				// (the sweep advances virtual time, so more control
+				// traffic flows during it).
+				row[si].Delivery.Add(nw.DeliverySweep(0))
 			}
 		}
 		res.Points = append(res.Points, row)
@@ -156,7 +166,7 @@ func (r *ControlSweepResult) WriteTable(w io.Writer) error {
 	}
 	header := []string{"density"}
 	for _, s := range r.Selectors {
-		header = append(header, s+"_tcB/s", s+"_set")
+		header = append(header, s+"_tcB/s", s+"_set", s+"_dlv")
 	}
 	if _, err := fmt.Fprintln(w, strings.Join(pad(header), "  ")); err != nil {
 		return err
@@ -166,7 +176,8 @@ func (r *ControlSweepResult) WriteTable(w io.Writer) error {
 		for _, p := range row {
 			cells = append(cells,
 				fmt.Sprintf("%.0f", p.TCBytesPerSec.Mean()),
-				fmt.Sprintf("%.2f", p.SetSize.Mean()))
+				fmt.Sprintf("%.2f", p.SetSize.Mean()),
+				fmt.Sprintf("%.2f", p.Delivery.Mean()))
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(pad(cells), "  ")); err != nil {
 			return err

@@ -1,0 +1,65 @@
+package graph
+
+// EdgeAccum collects undirected weighted edges with first-writer-wins
+// deduplication in a deterministic insertion order. It is the staging buffer
+// for assembling a Graph from several per-source link maps whose precedence
+// matters: insertion order decides downstream Dijkstra tie-breaks, so it must
+// be a pure function of what was added, never of map iteration order.
+//
+// Reset lets one accumulator be reused across rebuilds without reallocating;
+// the zero value needs a Reset (or a first Add) before use.
+type EdgeAccum struct {
+	order [][2]NodeID
+	w     map[[2]NodeID]float64
+}
+
+// Reset clears the accumulator, keeping its storage for reuse.
+func (ea *EdgeAccum) Reset() {
+	ea.order = ea.order[:0]
+	if ea.w == nil {
+		ea.w = make(map[[2]NodeID]float64)
+	} else {
+		clear(ea.w)
+	}
+}
+
+// Add stages the undirected edge {a,b} with weight w. Self-loops are ignored;
+// the first writer of a pair wins.
+func (ea *EdgeAccum) Add(a, b NodeID, w float64) {
+	if a == b {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if ea.w == nil {
+		ea.w = make(map[[2]NodeID]float64)
+	}
+	key := [2]NodeID{a, b}
+	if _, dup := ea.w[key]; dup {
+		return
+	}
+	ea.w[key] = w
+	ea.order = append(ea.order, key)
+}
+
+// Build inserts the accumulated edges into g, in accumulation order, using
+// index to map identifiers to node indices. Edges with an unmapped endpoint
+// are skipped.
+func (ea *EdgeAccum) Build(g *Graph, index map[NodeID]int32, channel string) {
+	for _, key := range ea.order {
+		ia, ok := index[key[0]]
+		if !ok {
+			continue
+		}
+		ib, ok := index[key[1]]
+		if !ok {
+			continue
+		}
+		e, err := g.AddEdge(ia, ib)
+		if err != nil {
+			continue
+		}
+		_ = g.SetWeight(channel, e, ea.w[key])
+	}
+}

@@ -40,6 +40,35 @@ func (sp *ShortestPaths) PathTo(t int32) []int32 {
 // Reachable reports whether t was reached by the search.
 func (sp *ShortestPaths) Reachable(t int32) bool { return sp.prev[t] != -2 }
 
+// FirstHops derives, for every reached node, the first hop after the source
+// on the recorded optimal path and the path's hop count, in one linear pass
+// over the pop order (a node's predecessor is always popped before the node,
+// so predecessors are resolved first). first[x] is -1 for the source and for
+// unreached nodes. The passed buffers are reused when large enough; pass nil
+// to allocate fresh ones. It replaces one PathTo walk (and allocation) per
+// destination when a whole routing table is being extracted.
+func (sp *ShortestPaths) FirstHops(first, hops []int32) (f, h []int32) {
+	n := len(sp.Dist)
+	first = resizeInt32(first, n)
+	hops = resizeInt32(hops, n)
+	for i := range first {
+		first[i] = -1
+		hops[i] = 0
+	}
+	for _, x := range sp.Reached {
+		switch p := sp.prev[x]; p {
+		case -1: // the source itself
+		case sp.Source:
+			first[x] = x
+			hops[x] = 1
+		default:
+			first[x] = first[p]
+			hops[x] = hops[p] + 1
+		}
+	}
+	return first, hops
+}
+
 // heapItem is one pending entry of the search frontier (lazy deletion).
 type heapItem struct {
 	value float64
@@ -57,13 +86,48 @@ type heapItem struct {
 // The metric's Combine must never improve a path (guaranteed by both
 // additive metrics with positive weights and concave bottleneck metrics),
 // which is the standard Dijkstra admissibility condition.
+//
+// The result owns freshly-allocated buffers; repeated searches that do not
+// retain their results should go through a Scratch instead.
 func Dijkstra(g *Graph, m metric.Metric, w []float64, src int32, view *LocalView, exclude int32) *ShortestPaths {
-	n := g.N()
-	sp := &ShortestPaths{
-		Source: src,
-		Dist:   make([]float64, n),
-		prev:   make([]int32, n),
+	return new(Scratch).Dijkstra(g, m, w, src, view, exclude)
+}
+
+// Scratch holds reusable Dijkstra buffers so repeated searches over
+// similarly-sized graphs allocate nothing once warm. It is the routing-table
+// rebuild workhorse: a protocol node keeps one Scratch and re-runs its
+// shortest-path search in place whenever its cached table is invalidated.
+//
+// The zero value is ready to use. A Scratch is not safe for concurrent use,
+// and the ShortestPaths returned by its Dijkstra aliases the scratch buffers:
+// it is valid only until the next call on the same Scratch.
+type Scratch struct {
+	sp   ShortestPaths
+	done []bool
+	heap []heapItem
+}
+
+// resizeInt32 returns buf with length n, reusing its storage when possible.
+func resizeInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
 	}
+	return buf[:n]
+}
+
+// Dijkstra is the package-level Dijkstra computed in the scratch's reusable
+// buffers. The returned ShortestPaths is owned by the Scratch and is
+// overwritten by the next call.
+func (s *Scratch) Dijkstra(g *Graph, m metric.Metric, w []float64, src int32, view *LocalView, exclude int32) *ShortestPaths {
+	n := g.N()
+	sp := &s.sp
+	sp.Source = src
+	if cap(sp.Dist) < n {
+		sp.Dist = make([]float64, n)
+	}
+	sp.Dist = sp.Dist[:n]
+	sp.prev = resizeInt32(sp.prev, n)
+	sp.Reached = sp.Reached[:0]
 	worst := m.Worst()
 	for i := range sp.Dist {
 		sp.Dist[i] = worst
@@ -75,8 +139,14 @@ func Dijkstra(g *Graph, m metric.Metric, w []float64, src int32, view *LocalView
 	sp.Dist[src] = m.Identity()
 	sp.prev[src] = -1
 
-	done := make([]bool, n)
-	heap := make([]heapItem, 0, 64)
+	if cap(s.done) < n {
+		s.done = make([]bool, n)
+	}
+	done := s.done[:n]
+	for i := range done {
+		done[i] = false
+	}
+	heap := s.heap[:0]
 	heap = pushHeap(heap, m, heapItem{value: sp.Dist[src], node: src})
 	for len(heap) > 0 {
 		var top heapItem
@@ -103,6 +173,7 @@ func Dijkstra(g *Graph, m metric.Metric, w []float64, src int32, view *LocalView
 			}
 		}
 	}
+	s.heap = heap[:0]
 	return sp
 }
 

@@ -2,6 +2,7 @@ package olsr
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -76,9 +77,20 @@ type Route struct {
 	Hops int
 }
 
+// noExpiry is the watermark value when no tracked deadline is pending.
+const noExpiry = time.Duration(math.MaxInt64)
+
 // Node is one OLSR/QOLSR protocol participant. Nodes are single-goroutine
 // state machines driven by the simulator: handlers must be called from one
 // goroutine.
+//
+// Everything derived from the soft state — the local view, the MPR/ANS
+// selection, the known topology and the routing table — is a cached artifact
+// under a version counter: link-state style, routes are recomputed when the
+// state changes (message ingestion that alters content, or soft-state
+// expiry), not on every lookup. Handlers that re-announce unchanged content
+// only refresh validity deadlines, so a converged network serves routing
+// lookups from cache indefinitely.
 type Node struct {
 	// ID is the node's unique protocol identifier (also its tie-break
 	// identity in the selection algorithms).
@@ -103,8 +115,39 @@ type Node struct {
 	ansSet    []int64
 	selectors map[int64]time.Duration // nodes that chose us as MPR
 
-	// dirty marks that ANS/MPR need recomputation before the next use.
-	dirty bool
+	// nhVersion counts content changes to the neighborhood state (links,
+	// neighbor tables) and topoVersion counts content changes to anything
+	// the routing graph depends on (neighborhood plus TC-learned
+	// topology). Cached derivations compare their build version against
+	// the current one instead of recomputing per call.
+	nhVersion   uint64
+	topoVersion uint64
+	// nextExpiry is the earliest deadline across all soft state: expire
+	// is a no-op while now is before it, so handlers and queries don't
+	// scan the five state maps when nothing can be stale.
+	nextExpiry time.Duration
+
+	// selAt is the nhVersion mprSet/ansSet were computed at.
+	selAt uint64
+
+	// Cached local view (viewBuilt distinguishes "not built yet" from a
+	// legitimately nil view when the node has no links).
+	viewAt    uint64
+	viewBuilt bool
+	view      *graph.LocalView
+	viewG     *graph.Graph
+	viewW     []float64
+
+	// Cached known-topology graph and routing table, with the reusable
+	// build and search scratch.
+	topoAt   uint64
+	topoG    *graph.Graph
+	routesAt uint64
+	routes   *Routes
+
+	build       buildScratch
+	sp          graph.Scratch
+	first, hops []int32
 }
 
 // NewNode returns a node with the given identity and configuration.
@@ -128,52 +171,103 @@ func NewNode(id int64, cfg Config) (*Node, error) {
 		cfg.TopologyHoldTime = 3 * cfg.TCInterval
 	}
 	return &Node{
-		ID:        id,
-		cfg:       cfg,
-		links:     make(map[int64]linkEntry),
-		neighbors: make(map[int64]neighborTable),
-		topology:  make(map[int64]topoEntry),
-		dups:      make(map[dupKey]time.Duration),
-		selectors: make(map[int64]time.Duration),
+		ID:         id,
+		cfg:        cfg,
+		links:      make(map[int64]linkEntry),
+		neighbors:  make(map[int64]neighborTable),
+		topology:   make(map[int64]topoEntry),
+		dups:       make(map[dupKey]time.Duration),
+		selectors:  make(map[int64]time.Duration),
+		nextExpiry: noExpiry,
 	}, nil
 }
 
-// UpdateLink records (or refreshes) this node's own link to a neighbor with
-// its current QoS weight, as measured by the out-of-scope metric layer.
-func (n *Node) UpdateLink(neighbor int64, weight float64, now time.Duration) {
-	n.links[neighbor] = linkEntry{weight: weight, expires: now + n.cfg.NeighborHoldTime}
-	n.dirty = true
+// touchNeighborhood records a content change to links or neighbor tables,
+// invalidating every derived cache (the routing graph includes the
+// neighborhood, so the topology version moves too).
+func (n *Node) touchNeighborhood() {
+	n.nhVersion++
+	n.topoVersion++
 }
 
-// expire drops stale state.
+// touchTopology records a content change to the TC-learned topology, which
+// invalidates the routing caches but not the MPR/ANS selection (selection
+// reads only the two-hop neighborhood).
+func (n *Node) touchTopology() {
+	n.topoVersion++
+}
+
+// track lowers the expiry watermark to cover a new deadline. The watermark
+// may be conservative (an overwritten entry's earlier deadline can linger
+// until the next scan); that only costs an occasional empty scan, never a
+// missed expiry.
+func (n *Node) track(deadline time.Duration) {
+	if deadline < n.nextExpiry {
+		n.nextExpiry = deadline
+	}
+}
+
+// UpdateLink records (or refreshes) this node's own link to a neighbor with
+// its current QoS weight, as measured by the out-of-scope metric layer. A
+// refresh at an unchanged weight only extends the validity deadline and
+// leaves the cached derivations intact.
+func (n *Node) UpdateLink(neighbor int64, weight float64, now time.Duration) {
+	e := linkEntry{weight: weight, expires: now + n.cfg.NeighborHoldTime}
+	old, ok := n.links[neighbor]
+	n.links[neighbor] = e
+	n.track(e.expires)
+	if !ok || old.weight != weight {
+		n.touchNeighborhood()
+	}
+}
+
+// expire drops stale state. It is O(1) while the current time is before the
+// earliest tracked deadline; past it, one scan drops everything stale and
+// re-derives the watermark from the survivors.
 func (n *Node) expire(now time.Duration) {
+	if now < n.nextExpiry {
+		return
+	}
+	next := noExpiry
 	for id, l := range n.links {
 		if l.expires <= now {
 			delete(n.links, id)
-			n.dirty = true
+			n.touchNeighborhood()
+		} else if l.expires < next {
+			next = l.expires
 		}
 	}
 	for id, t := range n.neighbors {
 		if t.expires <= now {
 			delete(n.neighbors, id)
-			n.dirty = true
+			n.touchNeighborhood()
+		} else if t.expires < next {
+			next = t.expires
 		}
 	}
 	for id, t := range n.topology {
 		if t.expires <= now {
 			delete(n.topology, id)
+			n.touchTopology()
+		} else if t.expires < next {
+			next = t.expires
 		}
 	}
 	for id, e := range n.selectors {
 		if e <= now {
 			delete(n.selectors, id)
+		} else if e < next {
+			next = e
 		}
 	}
 	for k, e := range n.dups {
 		if e <= now {
 			delete(n.dups, k)
+		} else if e < next {
+			next = e
 		}
 	}
+	n.nextExpiry = next
 }
 
 // GenerateHello produces this node's periodic HELLO.
@@ -190,7 +284,9 @@ func (n *Node) GenerateHello(now time.Duration) *Hello {
 	return h
 }
 
-// HandleHello ingests a neighbor's HELLO.
+// HandleHello ingests a neighbor's HELLO. A HELLO that re-announces the
+// neighbor's known link set only refreshes deadlines; one that changes it
+// invalidates the cached derivations.
 func (n *Node) HandleHello(h *Hello, now time.Duration) {
 	n.expire(now)
 	// Receiving a HELLO proves the link (ideal symmetric MAC); adopt the
@@ -212,11 +308,20 @@ func (n *Node) HandleHello(h *Hello, now time.Duration) {
 	for _, m := range h.MPRs {
 		tbl.mprs[m] = true
 		if m == n.ID {
-			n.selectors[h.Origin] = now + n.cfg.NeighborHoldTime
+			deadline := now + n.cfg.NeighborHoldTime
+			n.selectors[h.Origin] = deadline
+			n.track(deadline)
 		}
 	}
+	old, known := n.neighbors[h.Origin]
 	n.neighbors[h.Origin] = tbl
-	n.dirty = true
+	n.track(tbl.expires)
+	// Only the advertised links feed the derived state (the mpr list is
+	// consumed above, for selector tracking): equal content means every
+	// cached artifact stays valid.
+	if !known || !equalLinkMaps(old.links, tbl.links) {
+		n.touchNeighborhood()
+	}
 }
 
 // GenerateTC produces this node's periodic TC advertising its ANS, or nil
@@ -240,14 +345,17 @@ func (n *Node) GenerateTC(now time.Duration) *TC {
 
 // HandleTC ingests a flooded TC received from the direct neighbor sender
 // and reports whether this node must re-broadcast it (RFC 3626 forwarding
-// rule: forward once, and only if the sender selected us as MPR).
+// rule: forward once, and only if the sender selected us as MPR). A TC that
+// re-advertises an origin's known link set only refreshes its deadline.
 func (n *Node) HandleTC(t *TC, sender int64, now time.Duration) (forward bool) {
 	n.expire(now)
 	key := dupKey{origin: t.Origin, seq: t.Seq}
 	if _, dup := n.dups[key]; dup {
 		return false
 	}
-	n.dups[key] = now + n.cfg.TopologyHoldTime
+	dupDeadline := now + n.cfg.TopologyHoldTime
+	n.dups[key] = dupDeadline
+	n.track(dupDeadline)
 	if t.Origin != n.ID {
 		cur, ok := n.topology[t.Origin]
 		// Accept unless stale (ANSN regression within the validity
@@ -262,6 +370,10 @@ func (n *Node) HandleTC(t *TC, sender int64, now time.Duration) (forward bool) {
 				entry.links[l.Neighbor] = l.Weight
 			}
 			n.topology[t.Origin] = entry
+			n.track(entry.expires)
+			if !ok || !equalLinkMaps(cur.links, entry.links) {
+				n.touchTopology()
+			}
 		}
 	}
 	_, senderSelectedUs := n.selectors[sender]
@@ -275,12 +387,12 @@ func ansnNewer(current, candidate uint16) bool {
 }
 
 // recompute refreshes the MPR set, the ANS and the ANSN when the underlying
-// neighborhood changed.
+// neighborhood changed since the last computation.
 func (n *Node) recompute() {
-	if !n.dirty {
+	if n.selAt == n.nhVersion {
 		return
 	}
-	n.dirty = false
+	n.selAt = n.nhVersion
 
 	view, g, w, err := n.localView()
 	if err != nil || view == nil {
@@ -322,6 +434,21 @@ func equalIDs(a, b []int64) bool {
 	return true
 }
 
+// equalLinkMaps reports whether two advertised link sets carry identical
+// content — the test deciding whether a re-announcement can leave the cached
+// derivations untouched.
+func equalLinkMaps(a, b map[int64]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
 // sortedKeys returns a map's keys in ascending order. The node's tables are
 // Go maps, whose iteration order is randomized per range: everything
 // derived from them (graph edge insertion order, hence Dijkstra tie-breaks,
@@ -336,89 +463,76 @@ func sortedKeys[V any](m map[int64]V) []int64 {
 	return keys
 }
 
-// edgeAccum collects undirected weighted edges with first-writer-wins
-// deduplication in a deterministic insertion order.
-type edgeAccum struct {
-	order [][2]int64
-	w     map[[2]int64]float64
+// buildScratch holds the reusable intermediates of a topology rebuild: the
+// identifier set, the sorted id slice, the id-to-index map and the edge
+// accumulator. Rebuilds are rare under the version cache, but dense churny
+// networks still perform them in bursts; reusing the staging storage keeps
+// those bursts allocation-light.
+type buildScratch struct {
+	idset map[int64]struct{}
+	ids   []graph.NodeID
+	index map[graph.NodeID]int32
+	acc   graph.EdgeAccum
 }
 
-func newEdgeAccum() *edgeAccum {
-	return &edgeAccum{w: make(map[[2]int64]float64)}
+func (b *buildScratch) reset() {
+	if b.idset == nil {
+		b.idset = make(map[int64]struct{})
+	} else {
+		clear(b.idset)
+	}
+	b.ids = b.ids[:0]
+	b.acc.Reset()
 }
 
-func (ea *edgeAccum) add(a, b int64, w float64) {
-	if a == b {
-		return
-	}
-	if a > b {
-		a, b = b, a
-	}
-	key := [2]int64{a, b}
-	if _, dup := ea.w[key]; dup {
-		return
-	}
-	ea.w[key] = w
-	ea.order = append(ea.order, key)
+func (b *buildScratch) addID(id int64) {
+	b.idset[id] = struct{}{}
 }
 
-// build inserts the accumulated edges into g, in accumulation order, using
-// index to map identifiers to node indices.
-func (ea *edgeAccum) build(g *graph.Graph, index map[int64]int32, channel string) {
-	for _, key := range ea.order {
-		ia, ok := index[key[0]]
-		if !ok {
-			continue
-		}
-		ib, ok := index[key[1]]
-		if !ok {
-			continue
-		}
-		e, err := g.AddEdge(ia, ib)
-		if err != nil {
-			continue
-		}
-		_ = g.SetWeight(channel, e, ea.w[key])
+// materialise sorts the collected identifiers, builds the node-only graph
+// and fills the id-to-index map.
+func (b *buildScratch) materialise() (*graph.Graph, error) {
+	for id := range b.idset {
+		b.ids = append(b.ids, graph.NodeID(id))
 	}
+	sort.Slice(b.ids, func(i, j int) bool { return b.ids[i] < b.ids[j] })
+	g, err := graph.NewWithIDs(b.ids)
+	if err != nil {
+		return nil, err
+	}
+	if b.index == nil {
+		b.index = make(map[graph.NodeID]int32, len(b.ids))
+	} else {
+		clear(b.index)
+	}
+	for i, id := range b.ids {
+		b.index[id] = int32(i)
+	}
+	return g, nil
 }
 
-// localView materialises the node's current knowledge of G_u as a graph and
-// returns the local view centered at this node.
-func (n *Node) localView() (*graph.LocalView, *graph.Graph, []float64, error) {
-	if len(n.links) == 0 {
-		return nil, nil, nil, nil
-	}
-	// Collect known identifiers: self, direct neighbors, and everything
-	// the neighbors advertise.
-	idset := map[int64]bool{n.ID: true}
+// collectNeighborhoodIDs stages the identifiers the neighborhood
+// contributes: self, direct neighbors, and everything the neighbors
+// advertise.
+func (n *Node) collectNeighborhoodIDs() {
+	b := &n.build
+	b.addID(n.ID)
 	for id := range n.links {
-		idset[id] = true
+		b.addID(id)
 	}
 	for _, tbl := range n.neighbors {
 		for id := range tbl.links {
-			idset[id] = true
+			b.addID(id)
 		}
 	}
-	ids := make([]graph.NodeID, 0, len(idset))
-	for id := range idset {
-		ids = append(ids, graph.NodeID(id))
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	g, err := graph.NewWithIDs(ids)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	index := make(map[int64]int32, len(ids))
-	for i, id := range ids {
-		index[int64(id)] = int32(i)
-	}
-	channel := n.cfg.Metric.Name()
-	// Accumulate edges in sorted-key order (own links take precedence
-	// over neighbor-advertised ones) so the view is identical for
-	// identical protocol state, whatever the map iteration order.
-	acc := newEdgeAccum()
+}
+
+// accumulateNeighborhood stages this node's own links and the two-hop links
+// learned from HELLOs, in sorted-key order with own links taking precedence.
+func (n *Node) accumulateNeighborhood() {
+	acc := &n.build.acc
 	for _, id := range sortedKeys(n.links) {
-		acc.add(n.ID, id, n.links[id].weight)
+		acc.Add(graph.NodeID(n.ID), graph.NodeID(id), n.links[id].weight)
 	}
 	for _, nb := range sortedKeys(n.neighbors) {
 		if _, direct := n.links[nb]; !direct {
@@ -427,16 +541,50 @@ func (n *Node) localView() (*graph.LocalView, *graph.Graph, []float64, error) {
 		tbl := n.neighbors[nb]
 		for _, peer := range sortedKeys(tbl.links) {
 			if peer != n.ID {
-				acc.add(nb, peer, tbl.links[peer])
+				acc.Add(graph.NodeID(nb), graph.NodeID(peer), tbl.links[peer])
 			}
 		}
 	}
-	acc.build(g, index, channel)
+}
+
+// localView materialises the node's current knowledge of G_u as a graph and
+// returns the local view centered at this node. The result is cached per
+// neighborhood version: repeated calls between state changes are free.
+func (n *Node) localView() (*graph.LocalView, *graph.Graph, []float64, error) {
+	if n.viewBuilt && n.viewAt == n.nhVersion {
+		return n.view, n.viewG, n.viewW, nil
+	}
+	view, g, w, err := n.buildLocalView()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	n.view, n.viewG, n.viewW = view, g, w
+	n.viewBuilt, n.viewAt = true, n.nhVersion
+	return view, g, w, nil
+}
+
+func (n *Node) buildLocalView() (*graph.LocalView, *graph.Graph, []float64, error) {
+	if len(n.links) == 0 {
+		return nil, nil, nil, nil
+	}
+	b := &n.build
+	b.reset()
+	n.collectNeighborhoodIDs()
+	g, err := b.materialise()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	channel := n.cfg.Metric.Name()
+	// Accumulate edges in sorted-key order (own links take precedence
+	// over neighbor-advertised ones) so the view is identical for
+	// identical protocol state, whatever the map iteration order.
+	n.accumulateNeighborhood()
+	b.acc.Build(g, b.index, channel)
 	w, err := g.Weights(channel)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	view := graph.NewLocalView(g, index[n.ID])
+	view := graph.NewLocalView(g, b.index[graph.NodeID(n.ID)])
 	return view, g, w, nil
 }
 
@@ -467,100 +615,106 @@ func (n *Node) Selectors(now time.Duration) []int64 {
 
 // KnownTopology assembles the node's routing graph: its own links plus
 // every valid advertised link learned from TCs and the two-hop links
-// learned from HELLOs.
+// learned from HELLOs. The returned graph is the node's cached snapshot,
+// shared across calls until the state changes — callers must treat it as
+// read-only. A retained snapshot stays internally consistent after the node
+// moves on (rebuilds allocate a fresh graph rather than mutating the old
+// one).
 func (n *Node) KnownTopology(now time.Duration) (*graph.Graph, error) {
 	n.expire(now)
-	idset := map[int64]bool{n.ID: true}
-	for id := range n.links {
-		idset[id] = true
+	return n.knownTopology()
+}
+
+// knownTopology returns the cached routing graph, rebuilding it when the
+// topology version moved. Callers must have run expire(now) first.
+func (n *Node) knownTopology() (*graph.Graph, error) {
+	if n.topoG != nil && n.topoAt == n.topoVersion {
+		return n.topoG, nil
 	}
-	for _, tbl := range n.neighbors {
-		for id := range tbl.links {
-			idset[id] = true
-		}
-	}
-	for origin, t := range n.topology {
-		idset[origin] = true
-		for id := range t.links {
-			idset[id] = true
-		}
-	}
-	ids := make([]graph.NodeID, 0, len(idset))
-	for id := range idset {
-		ids = append(ids, graph.NodeID(id))
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	g, err := graph.NewWithIDs(ids)
+	g, err := n.buildKnownTopology()
 	if err != nil {
 		return nil, err
 	}
-	index := make(map[int64]int32, len(ids))
-	for i, id := range ids {
-		index[int64(id)] = int32(i)
+	n.topoG = g
+	n.topoAt = n.topoVersion
+	return g, nil
+}
+
+func (n *Node) buildKnownTopology() (*graph.Graph, error) {
+	b := &n.build
+	b.reset()
+	n.collectNeighborhoodIDs()
+	for origin, t := range n.topology {
+		b.addID(origin)
+		for id := range t.links {
+			b.addID(id)
+		}
+	}
+	g, err := b.materialise()
+	if err != nil {
+		return nil, err
 	}
 	channel := n.cfg.Metric.Name()
 	// Accumulate edges in sorted-key order with fixed source precedence
 	// (own links, then HELLO-learned two-hop links, then TC links): edge
 	// insertion order decides Dijkstra tie-breaks downstream, so it must
 	// be a pure function of the protocol state, not of map iteration.
-	acc := newEdgeAccum()
-	for _, id := range sortedKeys(n.links) {
-		acc.add(n.ID, id, n.links[id].weight)
-	}
-	for _, nb := range sortedKeys(n.neighbors) {
-		if _, direct := n.links[nb]; !direct {
-			continue
-		}
-		tbl := n.neighbors[nb]
-		for _, peer := range sortedKeys(tbl.links) {
-			if peer != n.ID {
-				acc.add(nb, peer, tbl.links[peer])
-			}
-		}
-	}
+	n.accumulateNeighborhood()
 	for _, origin := range sortedKeys(n.topology) {
 		t := n.topology[origin]
 		for _, peer := range sortedKeys(t.links) {
-			acc.add(origin, peer, t.links[peer])
+			b.acc.Add(graph.NodeID(origin), graph.NodeID(peer), t.links[peer])
 		}
 	}
-	acc.build(g, index, channel)
+	b.acc.Build(g, b.index, channel)
 	return g, nil
 }
 
-// RoutingTable computes QoS routes to every known destination: a QoS-metric
-// Dijkstra over the known topology, next hop being the first node of the
-// best path.
-func (n *Node) RoutingTable(now time.Duration) (map[int64]Route, error) {
-	g, err := n.KnownTopology(now)
+// Routes returns the node's current routing table: QoS routes to every known
+// destination, a QoS-metric Dijkstra over the known topology with the next
+// hop being the first node of the best path.
+//
+// The table is a cached artifact rebuilt only when the protocol state
+// changed (by message content or expiry) since the last call: the common
+// data-plane case — many lookups against an unchanged topology — returns the
+// same read-only snapshot without recomputing or allocating anything.
+func (n *Node) Routes(now time.Duration) (*Routes, error) {
+	n.expire(now)
+	if n.routes != nil && n.routesAt == n.topoVersion {
+		return n.routes, nil
+	}
+	g, err := n.knownTopology()
 	if err != nil {
 		return nil, err
 	}
-	channel := n.cfg.Metric.Name()
-	w, err := g.Weights(channel)
-	if err != nil {
-		// No edges at all: empty table.
-		return map[int64]Route{}, nil
-	}
-	self := g.IndexOf(graph.NodeID(n.ID))
-	if self < 0 {
-		return map[int64]Route{}, nil
-	}
-	sp := graph.Dijkstra(g, n.cfg.Metric, w, self, nil, -1)
-	table := make(map[int64]Route)
-	for x := int32(0); int(x) < g.N(); x++ {
-		if x == self || !sp.Reachable(x) {
-			continue
+	r := &Routes{}
+	// A missing weight channel means the topology has no edges at all:
+	// the table is empty.
+	if w, err := g.Weights(n.cfg.Metric.Name()); err == nil {
+		if self := g.IndexOf(graph.NodeID(n.ID)); self >= 0 {
+			sp := n.sp.Dijkstra(g, n.cfg.Metric, w, self, nil, -1)
+			n.first, n.hops = sp.FirstHops(n.first, n.hops)
+			if reached := len(sp.Reached); reached > 1 {
+				r.dsts = make([]int64, 0, reached-1)
+				r.routes = make([]Route, 0, reached-1)
+			}
+			for x := int32(0); int(x) < g.N(); x++ {
+				if x == self || !sp.Reachable(x) {
+					continue
+				}
+				// The graph's identifiers are sorted, so index
+				// order yields ascending destinations — the
+				// order Routes.Lookup binary-searches.
+				r.dsts = append(r.dsts, int64(g.ID(x)))
+				r.routes = append(r.routes, Route{
+					NextHop: int64(g.ID(n.first[x])),
+					Value:   sp.Dist[x],
+					Hops:    int(n.hops[x]),
+				})
+			}
 		}
-		path := sp.PathTo(x)
-		if len(path) < 2 {
-			continue
-		}
-		table[int64(g.ID(x))] = Route{
-			NextHop: int64(g.ID(path[1])),
-			Value:   sp.Dist[x],
-			Hops:    len(path) - 1,
-		}
 	}
-	return table, nil
+	n.routes = r
+	n.routesAt = n.topoVersion
+	return r, nil
 }

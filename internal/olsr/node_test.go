@@ -153,11 +153,11 @@ func TestHandleTCTopologyAndRouting(t *testing.T) {
 		{Neighbor: 1, Weight: 4}, {Neighbor: 3, Weight: 6},
 	}}, 3, now)
 
-	table, err := d.RoutingTable(now)
+	table, err := d.Routes(now)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, ok := table[1]
+	r1, ok := table.Lookup(1)
 	if !ok {
 		t.Fatal("no route to node 1")
 	}

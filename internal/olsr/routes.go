@@ -1,0 +1,45 @@
+package olsr
+
+import "sort"
+
+// Routes is a node's routing table as a compact, read-only view: destinations
+// in ascending identifier order with their routes stored index-addressed in
+// parallel slices. A *Routes is a consistent snapshot — it is built once per
+// topology change and shared by every caller until the node's state moves, so
+// lookups on the data-plane hot path cost one binary search and zero
+// allocations instead of a full table recomputation.
+//
+// The view must not be modified. It stays valid (as a snapshot of the state
+// it was computed from) even after the owning node rebuilds its table.
+type Routes struct {
+	dsts   []int64
+	routes []Route
+}
+
+// Len returns the number of destinations with a route.
+func (r *Routes) Len() int { return len(r.dsts) }
+
+// Lookup returns the route to dst, if one exists.
+func (r *Routes) Lookup(dst int64) (Route, bool) {
+	i := sort.Search(len(r.dsts), func(i int) bool { return r.dsts[i] >= dst })
+	if i < len(r.dsts) && r.dsts[i] == dst {
+		return r.routes[i], true
+	}
+	return Route{}, false
+}
+
+// At returns the i-th entry in ascending destination order, 0 <= i < Len().
+func (r *Routes) At(i int) (dst int64, route Route) {
+	return r.dsts[i], r.routes[i]
+}
+
+// Table materialises the view as a freshly-allocated map. It exists for
+// display and offline analysis; hot paths should use Lookup/At, which do not
+// allocate.
+func (r *Routes) Table() map[int64]Route {
+	out := make(map[int64]Route, len(r.dsts))
+	for i, dst := range r.dsts {
+		out[dst] = r.routes[i]
+	}
+	return out
+}

@@ -91,6 +91,41 @@ func TestBuiltinScenarioWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// TestMobilityScenarioWorkerDeterminism locks the cached-routing semantics
+// under mobility: with nodes moving, links expiring and probe flows querying
+// cached tables every sample, a fixed seed must still yield bit-identical
+// output for any worker budget — the cache may change how tables are
+// computed, never which table a packet sees at a given virtual time.
+func TestMobilityScenarioWorkerDeterminism(t *testing.T) {
+	base, err := scenario.ByName("random-waypoint-sparse", "fnbp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := *base.Topology.Deployment
+	dep.Field = geom.Field{Width: 300, Height: 300}
+	dep.Degree = 6
+	base.Topology.Deployment = &dep
+	base.Duration = 30 * time.Second
+	base.Warmup = 10 * time.Second
+	base.Traffic.Flows = 6
+
+	encode := func(workers int) []byte {
+		res, err := RunScenario(context.Background(), base,
+			Options{Workers: workers, Runs: 3, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(encode(1), encode(8)) {
+		t.Error("mobility scenario JSON differs between Workers=1 and Workers=8")
+	}
+}
+
 func TestStreamScenarioEvents(t *testing.T) {
 	sc := testScenario()
 	events, wait := StreamScenario(context.Background(), sc, Options{Runs: 2, Seed: 1})

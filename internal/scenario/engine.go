@@ -150,7 +150,10 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 		if phaseErr != nil {
 			return nil, phaseErr
 		}
-		s, ctrl := measure(nw, cfg.Metric, channel, flows, t, prevT, prevBytes, drain)
+		s, ctrl, err := measure(nw, cfg.Metric, channel, flows, t, prevT, prevBytes, drain)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: sample at %v: %w", sc.Name, t, err)
+		}
 		prevT = t
 		prevBytes = ctrl
 		res.Samples = append(res.Samples, s)
@@ -245,8 +248,10 @@ func reconvergence(samples []Sample, disruptions []disruption, duration time.Dur
 // packet completes. It returns the sample and the control-byte counter as
 // of t — the caller must carry that (not the post-drain counter) into the
 // next sample's rate, or control messages sent during each drain window
-// would vanish from every rate.
-func measure(nw *sim.Network, m metric.Metric, channel string, flows []flow, t, prevT time.Duration, prevBytes uint64, drain time.Duration) (Sample, uint64) {
+// would vanish from every rate. A routing-table failure aborts the sample:
+// it is surfaced to the caller instead of being silently sampled as an
+// empty table.
+func measure(nw *sim.Network, m metric.Metric, channel string, flows []flow, t, prevT time.Duration, prevBytes uint64, drain time.Duration) (Sample, uint64, error) {
 	s := Sample{Time: t, Nodes: nw.Phys.N()}
 
 	ctrl := nw.Stats.HelloBytes + nw.Stats.TCBytes
@@ -265,9 +270,12 @@ func measure(nw *sim.Network, m metric.Metric, channel string, flows []flow, t, 
 	s.Links = eff.M()
 
 	// Per-source searches are shared across flows with the same source.
+	// The routing tables are the nodes' own cached snapshots, not copies:
+	// caching them per source here only avoids re-running the nodes'
+	// (cheap) validity checks.
 	hopSPs := make(map[int32]*graph.ShortestPaths)
 	optSPs := make(map[int32]*graph.ShortestPaths)
-	tables := make(map[int32]map[int64]olsr.Route)
+	tables := make(map[int32]*olsr.Routes)
 	var (
 		stretchSum  float64
 		stretchN    int
@@ -293,10 +301,14 @@ func measure(nw *sim.Network, m metric.Metric, channel string, flows []flow, t, 
 		// now against the optimum on the live physical topology.
 		table, ok := tables[f.src]
 		if !ok {
-			table, _ = nw.Nodes[f.src].RoutingTable(nw.Engine.Now())
+			var err error
+			table, err = nw.Nodes[f.src].Routes(nw.Engine.Now())
+			if err != nil {
+				return Sample{}, 0, fmt.Errorf("routing table of node %d: %w", nw.Phys.ID(f.src), err)
+			}
 			tables[f.src] = table
 		}
-		if entry, ok := table[int64(nw.Phys.ID(f.dst))]; ok {
+		if entry, ok := table.Lookup(int64(nw.Phys.ID(f.dst))); ok {
 			optSP := optSPs[f.src]
 			if optSP == nil {
 				optSP = graph.Dijkstra(eff, m, w, f.src, nil, -1)
@@ -332,7 +344,7 @@ func measure(nw *sim.Network, m metric.Metric, channel string, flows []flow, t, 
 	if overheadN > 0 {
 		s.Overhead = overheadSum / float64(overheadN)
 	}
-	return s, ctrl
+	return s, ctrl, nil
 }
 
 // effectiveTopology returns the physical graph minus failed links, with the

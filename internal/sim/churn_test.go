@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -73,12 +74,11 @@ func TestProtocolReactsToLinkFailure(t *testing.T) {
 	nw.Run(25 * time.Second)
 
 	routeTo2 := func() (olsr.Route, bool) {
-		table, err := nw.Nodes[0].RoutingTable(nw.Engine.Now())
+		table, err := nw.Nodes[0].Routes(nw.Engine.Now())
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, ok := table[2]
-		return r, ok
+		return table.Lookup(2)
 	}
 	if _, ok := routeTo2(); !ok {
 		t.Fatal("no initial route 0->2")
@@ -100,11 +100,11 @@ func TestProtocolReactsToLinkFailure(t *testing.T) {
 		t.Errorf("route 0->2 via %d after failure, want 3", r.NextHop)
 	}
 	// Node 1 must have disappeared from 0's neighbor-derived routes.
-	table, err := nw.Nodes[0].RoutingTable(nw.Engine.Now())
+	table, err := nw.Nodes[0].Routes(nw.Engine.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1, ok := table[1]; ok && r1.NextHop == 1 {
+	if r1, ok := table.Lookup(1); ok && r1.NextHop == 1 {
 		t.Error("0 still routes directly to failed neighbor 1")
 	}
 
@@ -117,12 +117,57 @@ func TestProtocolReactsToLinkFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	nw.Run(nw.Engine.Now() + 30*time.Second)
-	table, err = nw.Nodes[0].RoutingTable(nw.Engine.Now())
+	table, err = nw.Nodes[0].Routes(nw.Engine.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1, ok := table[1]; !ok || r1.NextHop != 1 {
-		t.Errorf("restored neighbor 1 not routed directly: %+v ok=%v", table[1], ok)
+	if r1, ok := table.Lookup(1); !ok || r1.NextHop != 1 {
+		t.Errorf("restored neighbor 1 not routed directly: %+v ok=%v", r1, ok)
+	}
+}
+
+// Cache invalidation across a FailLink/RestoreLink cycle: the cached table
+// must refresh when soft state expires after the failure, and refresh again
+// (back to the original content — weights are stable) after restoration.
+func TestRoutesCacheAcrossFailRestoreCycle(t *testing.T) {
+	nw := lineNetwork(t)
+	nw.Start()
+	nw.Run(25 * time.Second)
+
+	before, err := nw.Nodes[0].Routes(nw.Engine.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := before.Lookup(3); !ok {
+		t.Fatal("no initial route 0->3")
+	}
+	if err := nw.FailLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	nw.Run(nw.Engine.Now() + 40*time.Second)
+	during, err := nw.Nodes[0].Routes(nw.Engine.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if during == before {
+		t.Fatal("table not refreshed after link failure expired state")
+	}
+	if _, ok := during.Lookup(3); ok {
+		t.Fatal("route across failed link survived")
+	}
+	if err := nw.RestoreLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	nw.Run(nw.Engine.Now() + 40*time.Second)
+	after, err := nw.Nodes[0].Routes(nw.Engine.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == during {
+		t.Fatal("table not refreshed after link restoration")
+	}
+	if !reflect.DeepEqual(after.Table(), before.Table()) {
+		t.Errorf("post-cycle table %v != pre-cycle table %v", after.Table(), before.Table())
 	}
 }
 
@@ -132,22 +177,22 @@ func TestPartitionExpiresRemoteState(t *testing.T) {
 	nw := lineNetwork(t)
 	nw.Start()
 	nw.Run(25 * time.Second)
-	table, err := nw.Nodes[0].RoutingTable(nw.Engine.Now())
+	table, err := nw.Nodes[0].Routes(nw.Engine.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := table[3]; !ok {
+	if _, ok := table.Lookup(3); !ok {
 		t.Fatal("no initial route 0->3")
 	}
 	if err := nw.FailLink(1, 2); err != nil {
 		t.Fatal(err)
 	}
 	nw.Run(nw.Engine.Now() + 40*time.Second)
-	table, err = nw.Nodes[0].RoutingTable(nw.Engine.Now())
+	table, err = nw.Nodes[0].Routes(nw.Engine.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := table[3]; ok {
+	if _, ok := table.Lookup(3); ok {
 		t.Error("route across failed bridge survived expiry")
 	}
 }

@@ -52,7 +52,7 @@ func (nw *Network) SendData(src, dst int32, done func(delivered bool, hops int, 
 			}
 			return
 		}
-		table, err := nw.Nodes[at].RoutingTable(nw.Engine.Now())
+		routes, err := nw.Nodes[at].Routes(nw.Engine.Now())
 		if err != nil {
 			nw.Data.NoRoute++
 			if done != nil {
@@ -60,7 +60,7 @@ func (nw *Network) SendData(src, dst int32, done func(delivered bool, hops int, 
 			}
 			return
 		}
-		route, ok := table[int64(nw.Phys.ID(dst))]
+		route, ok := routes.Lookup(int64(nw.Phys.ID(dst)))
 		if !ok {
 			nw.Data.NoRoute++
 			if done != nil {
@@ -68,7 +68,17 @@ func (nw *Network) SendData(src, dst int32, done func(delivered bool, hops int, 
 			}
 			return
 		}
-		next := nw.indexOf[route.NextHop]
+		next, ok := nw.indexOf[route.NextHop]
+		if !ok {
+			// A next hop outside the network's index (stale state
+			// naming a node that never existed here) is a routing
+			// failure, not an accidental alias of index 0.
+			nw.Data.NoRoute++
+			if done != nil {
+				done(false, 0, 0)
+			}
+			return
+		}
 		// The unicast hop uses the physical link; if it is gone (united
 		// with mobility/churn) the packet is lost at this hop unless the
 		// next table refresh learns better.

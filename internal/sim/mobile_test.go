@@ -136,7 +136,7 @@ func TestMobileSimRoutingStillWorks(t *testing.T) {
 
 	now := ms.NW.Engine.Now()
 	reach := graph.Reachable(ms.NW.Phys, 0)
-	table, err := ms.NW.Nodes[0].RoutingTable(now)
+	table, err := ms.NW.Nodes[0].Routes(now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestMobileSimRoutingStillWorks(t *testing.T) {
 			continue
 		}
 		reachable++
-		if _, ok := table[int64(x)]; ok {
+		if _, ok := table.Lookup(int64(x)); ok {
 			routed++
 		}
 	}

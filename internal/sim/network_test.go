@@ -84,7 +84,7 @@ func TestProtocolRoutingReachability(t *testing.T) {
 
 	now := nw.Engine.Now()
 	reach := graph.Reachable(g, 0)
-	table, err := nw.Nodes[0].RoutingTable(now)
+	table, err := nw.Nodes[0].Routes(now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,16 +92,16 @@ func TestProtocolRoutingReachability(t *testing.T) {
 		if !reach[x] {
 			continue
 		}
-		if _, ok := table[int64(g.ID(int32(x)))]; !ok {
+		if _, ok := table.Lookup(int64(g.ID(int32(x)))); !ok {
 			t.Errorf("node 0 has no route to reachable node %d", x)
 		}
 	}
 
 	// Hop-by-hop forwarding over per-node routing tables must deliver
 	// without loops.
-	tables := make([]map[int64]olsr.Route, g.N())
+	tables := make([]*olsr.Routes, g.N())
 	for i := range nw.Nodes {
-		tbl, err := nw.Nodes[i].RoutingTable(now)
+		tbl, err := nw.Nodes[i].Routes(now)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +114,7 @@ func TestProtocolRoutingReachability(t *testing.T) {
 			continue
 		}
 		next := func(at, target int32) int32 {
-			r, ok := tables[at][int64(g.ID(target))]
+			r, ok := tables[at].Lookup(int64(g.ID(target)))
 			if !ok {
 				return -1
 			}

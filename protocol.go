@@ -47,6 +47,9 @@ type (
 	ProtocolNode = olsr.Node
 	// Route is one protocol routing-table entry.
 	Route = olsr.Route
+	// Routes is a node's routing table: a cached, read-only view with
+	// allocation-free Lookup, rebuilt only when the protocol state moves.
+	Routes = olsr.Routes
 	// Network runs a protocol instance per node over the event
 	// simulator.
 	Network = sim.Network

@@ -116,8 +116,16 @@ func TestPublicProtocolStack(t *testing.T) {
 	if nw.Stats.HelloMessages == 0 {
 		t.Error("no protocol traffic")
 	}
-	if _, err := nw.Nodes[0].RoutingTable(nw.Engine.Now()); err != nil {
+	routes, err := nw.Nodes[0].Routes(nw.Engine.Now())
+	if err != nil {
 		t.Error(err)
+	}
+	again, err := nw.Nodes[0].Routes(nw.Engine.Now())
+	if err != nil {
+		t.Error(err)
+	}
+	if routes != again {
+		t.Error("routing table not served from cache on an unchanged network")
 	}
 }
 
