@@ -51,7 +51,7 @@ func main() {
 func run() error {
 	var (
 		figureID = flag.String("figure", "", "comma-separated sweeps to run (see -list), or \"all\" for fig6..fig9")
-		ablation = flag.String("ablation", "", "ablation short form to run instead: loopfix, locallinks, mprs, policy, upper, control")
+		ablation = flag.String("ablation", "", "ablation short form to run instead: loopfix, locallinks, mprs, policy, upper, control, loss")
 		runs     = flag.Int("runs", 100, "independent topologies per density point")
 		seed     = flag.Int64("seed", 1, "base RNG seed")
 		workers  = flag.Int("workers", 0, "parallelism budget across points and runs (0 = GOMAXPROCS)")
@@ -100,6 +100,18 @@ func run() error {
 			return fmt.Errorf("-ablation control has table output only; -json/-csv are not supported")
 		}
 		res, err := r.ControlSweep(ctx, qolsr.ControlSweepOptions{})
+		if err != nil {
+			return err
+		}
+		return res.WriteTable(os.Stdout)
+	}
+
+	if *ablation == "loss" {
+		// A7 runs the live stack over the lossy medium; table form only.
+		if *jsonPath != "" || *csvPath != "" {
+			return fmt.Errorf("-ablation loss has table output only; -json/-csv are not supported")
+		}
+		res, err := r.LossSweep(ctx, qolsr.LossSweepOptions{})
 		if err != nil {
 			return err
 		}
@@ -171,6 +183,10 @@ func registryListing() string {
 	b.WriteString("scenarios (scenario run -name):\n")
 	for _, s := range qolsr.ScenarioNames() {
 		fmt.Fprintf(&b, "  %s\n", s)
+	}
+	b.WriteString("mediums (scenario run -medium):\n")
+	for _, m := range qolsr.MediumNames() {
+		fmt.Fprintf(&b, "  %s\n", m)
 	}
 	return b.String()
 }

@@ -63,12 +63,12 @@ func TestComposeExperiment(t *testing.T) {
 
 func TestRegistryListing(t *testing.T) {
 	out := registryListing()
-	for _, section := range []string{"sweeps", "quantities:", "routing policies:", "scenarios"} {
+	for _, section := range []string{"sweeps", "quantities:", "routing policies:", "scenarios", "mediums"} {
 		if !strings.Contains(out, section) {
 			t.Errorf("listing missing section %q", section)
 		}
 	}
-	for _, entry := range []string{"fig6", "ablation-mprs", "set-size", "qos-optimal", "minhop-then-qos", "static-baseline", "churn-storm"} {
+	for _, entry := range []string{"fig6", "ablation-mprs", "set-size", "qos-optimal", "minhop-then-qos", "static-baseline", "churn-storm", "lossy-degrade", "ideal", "lossy"} {
 		if !strings.Contains(out, "  "+entry+"\n") {
 			t.Errorf("listing missing entry %q", entry)
 		}

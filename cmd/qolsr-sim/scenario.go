@@ -60,6 +60,9 @@ func runScenario(args []string) error {
 		duration = fs.Duration("duration", 0, "override the scenario duration")
 		sample   = fs.Duration("sample", 0, "override the measurement cadence")
 		flows    = fs.Int("flows", 0, "override the probe flow count")
+		medium   = fs.String("medium", "", "override the radio medium: ideal or lossy (see -list)")
+		loss     = fs.Float64("loss", -1, "override the lossy medium's base packet-error rate, in [0,1)")
+		measured = fs.Bool("measured", false, "enable measured link quality (ETX-style) instead of oracle weights")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +90,18 @@ func runScenario(args []string) error {
 	}
 	if *flows > 0 {
 		sc.Traffic.Flows = *flows
+	}
+	if *medium != "" {
+		sc.Medium.Kind = *medium
+	}
+	if *loss >= 0 {
+		sc.Medium.Loss = *loss
+		if sc.Medium.Kind == "" || sc.Medium.Kind == "ideal" {
+			return fmt.Errorf("-loss requires the lossy medium (add -medium lossy)")
+		}
+	}
+	if *measured {
+		sc.Protocol.MeasuredQoS = true
 	}
 
 	// Ctrl-C / SIGTERM cancels the execution; replicate runs stop at the

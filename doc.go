@@ -80,6 +80,25 @@
 // determinism guarantee as the sweeps: every run's RNG streams derive from
 // (seed, run), so results are bit-identical for any WithWorkers value.
 //
+// # Radio medium
+//
+// Every transmission crosses a pluggable Medium that decides who receives
+// each frame and after how long. The default ideal MAC is the paper's model
+// (fixed propagation delay, no loss); the lossy medium adds per-link
+// packet-error rates (base, distance-dependent and per-link components), a
+// per-node transmit queue whose serialization delay derives from the link's
+// bandwidth weight, and bounded jitter — every draw keyed per
+// (seed, src, dst, frame-seq) through splitmix64, so lossy simulations are
+// reproducible at any worker count. On a lossy radio the protocol can
+// measure its links instead of trusting the oracle:
+// ProtocolConfig.MeasuredQoS derives link weights from windowed HELLO
+// delivery ratios (ETX for additive metrics, the delivery product for
+// concave ones), carried between link ends by a backward-compatible HELLO
+// block. Scenarios select the medium declaratively (ScenarioMedium, the
+// ActionSetLoss/ActionDegradeLink phases, the lossy-baseline and
+// lossy-degrade built-ins), and Runner.LossSweep sweeps delivery against
+// the loss rate comparing oracle against measured selection.
+//
 // # Cached routing
 //
 // Protocol nodes follow link-state practice: routes are recomputed on state

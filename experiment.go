@@ -50,6 +50,10 @@ type (
 	ControlSweepOptions = eval.ControlSweepOptions
 	// ControlSweepResult is Runner.ControlSweep's outcome.
 	ControlSweepResult = eval.ControlSweepResult
+	// LossSweepOptions configures the A7 delivery-vs-loss experiment.
+	LossSweepOptions = eval.LossSweepOptions
+	// LossSweepResult is Runner.LossSweep's outcome.
+	LossSweepResult = eval.LossSweepResult
 	// Results is a completed sweep with table/CSV/JSON encoders.
 	Results = runner.Result
 	// Event is one incremental sweep outcome (see Stream).
@@ -252,4 +256,19 @@ func (r *Runner) ControlSweep(ctx context.Context, opts ControlSweepOptions) (*C
 		opts.Degrees = r.opts.Degrees
 	}
 	return eval.RunControlSweep(ctx, opts)
+}
+
+// LossSweep measures data-plane delivery against medium packet loss on the
+// live protocol stack (experiment A7), comparing oracle link weights with
+// measured link quality. It honours ctx and the runner's seed/runs options
+// where the sweep's own are unset.
+func (r *Runner) LossSweep(ctx context.Context, opts LossSweepOptions) (*LossSweepResult, error) {
+	if opts.Seed == 0 {
+		opts.Seed = r.opts.Seed
+	}
+	if opts.Runs <= 0 && r.opts.Runs > 0 {
+		// Same live-stack cost scaling as ControlSweep.
+		opts.Runs = max(1, r.opts.Runs/20)
+	}
+	return eval.RunLossSweep(ctx, opts)
 }

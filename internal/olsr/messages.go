@@ -61,6 +61,13 @@ type Hello struct {
 	// relays; receivers use it to maintain their MPR-selector sets,
 	// which gate TC forwarding.
 	MPRs []int64
+	// LQs, present only under measured link quality (Config.MeasuredQoS),
+	// carries the sender's raw windowed HELLO delivery ratio per heard
+	// neighbor — the reverse-direction measurement the receiver needs to
+	// form an ETX-style bidirectional link estimate. The block is encoded
+	// only when non-empty, so oracle-mode HELLOs are byte-identical to the
+	// pre-measurement wire format.
+	LQs []LinkInfo
 }
 
 // TC is the topology-control message flooded through the MPR backbone. It
@@ -87,7 +94,11 @@ const (
 
 // MarshalHello encodes h into a fresh byte slice.
 func MarshalHello(h *Hello) []byte {
-	buf := make([]byte, 0, headerLen+2+len(h.Links)*linkInfoLen+len(h.MPRs)*8)
+	size := headerLen + 2 + len(h.Links)*linkInfoLen + len(h.MPRs)*8
+	if len(h.LQs) > 0 {
+		size += 2 + len(h.LQs)*linkInfoLen
+	}
+	buf := make([]byte, 0, size)
 	buf = append(buf, byte(MsgHello))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(h.Origin))
 	buf = binary.BigEndian.AppendUint16(buf, h.Seq)
@@ -99,6 +110,15 @@ func MarshalHello(h *Hello) []byte {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.MPRs)))
 	for _, m := range h.MPRs {
 		buf = binary.BigEndian.AppendUint64(buf, uint64(m))
+	}
+	// Optional trailing LQ block (measured link quality only): frames are
+	// self-delimiting buffers, so absence is simply the frame ending here.
+	if len(h.LQs) > 0 {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.LQs)))
+		for _, l := range h.LQs {
+			buf = binary.BigEndian.AppendUint64(buf, uint64(l.Neighbor))
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(l.Weight))
+		}
 	}
 	return buf
 }
@@ -135,6 +155,26 @@ func UnmarshalHello(buf []byte) (*Hello, error) {
 	for i := 0; i < m; i++ {
 		h.MPRs[i] = int64(binary.BigEndian.Uint64(buf[off : off+8]))
 		off += 8
+	}
+	if off == len(buf) {
+		return h, nil // no LQ block — oracle-mode frame
+	}
+	if len(buf) < off+2 {
+		return nil, fmt.Errorf("olsr: hello has trailing garbage (%d bytes)", len(buf)-off)
+	}
+	q := int(binary.BigEndian.Uint16(buf[off : off+2]))
+	off += 2
+	if len(buf) < off+q*linkInfoLen {
+		return nil, fmt.Errorf("olsr: hello truncated (%d lqs claimed)", q)
+	}
+	h.LQs = make([]LinkInfo, q)
+	for i := 0; i < q; i++ {
+		h.LQs[i].Neighbor = int64(binary.BigEndian.Uint64(buf[off : off+8]))
+		h.LQs[i].Weight = math.Float64frombits(binary.BigEndian.Uint64(buf[off+8 : off+16]))
+		off += linkInfoLen
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("olsr: hello has trailing garbage after lq block (%d bytes)", len(buf)-off)
 	}
 	return h, nil
 }

@@ -29,6 +29,16 @@ type Config struct {
 	Selector core.Selector
 	// MPRHeuristic computes the flooding relay set (default RFC greedy).
 	MPRHeuristic mpr.Heuristic
+	// MeasuredQoS switches link sensing from the oracle to measurement:
+	// instead of weights fed by UpdateLink from the topology, the node
+	// derives them from windowed HELLO delivery ratios (ETX for additive
+	// metrics, the delivery product for concave ones — see linkquality.go)
+	// and HELLOs carry the LQ block so both link ends converge on the
+	// same bidirectional estimate.
+	MeasuredQoS bool
+	// LQWindow is the HELLO-history window measured ratios average over
+	// (default DefaultLQWindow). Only read under MeasuredQoS.
+	LQWindow int
 }
 
 // DefaultConfig returns RFC-style timers with FNBP selection under the given
@@ -106,6 +116,9 @@ type Node struct {
 	topology map[int64]topoEntry
 	// dups suppresses re-flooding (origin, seq) pairs.
 	dups map[dupKey]time.Duration
+	// lq holds the per-neighbor HELLO delivery estimators (MeasuredQoS
+	// link sensing; nil in oracle mode).
+	lq map[int64]*lqEstimator
 
 	helloSeq uint16
 	tcSeq    uint16
@@ -267,6 +280,16 @@ func (n *Node) expire(now time.Duration) {
 			next = e
 		}
 	}
+	for id, e := range n.lq {
+		if e.expires <= now {
+			// Dropping an estimator is not a content change: the links
+			// map (which expires on its own deadline) is what derived
+			// state reads.
+			delete(n.lq, id)
+		} else if e.expires < next {
+			next = e.expires
+		}
+	}
 	n.nextExpiry = next
 }
 
@@ -281,6 +304,14 @@ func (n *Node) GenerateHello(now time.Duration) *Hello {
 	}
 	sort.Slice(h.Links, func(i, j int) bool { return h.Links[i].Neighbor < h.Links[j].Neighbor })
 	h.MPRs = append(h.MPRs, n.mprSet...)
+	if n.cfg.MeasuredQoS {
+		// Report the raw forward delivery ratio per heard neighbor so
+		// receivers can form the bidirectional estimate (sorted: the
+		// wire form must be a pure function of protocol state).
+		for _, id := range sortedKeys(n.lq) {
+			h.LQs = append(h.LQs, LinkInfo{Neighbor: id, Weight: n.lq[id].ratio()})
+		}
+	}
 	return h
 }
 
@@ -289,12 +320,19 @@ func (n *Node) GenerateHello(now time.Duration) *Hello {
 // invalidates the cached derivations.
 func (n *Node) HandleHello(h *Hello, now time.Duration) {
 	n.expire(now)
-	// Receiving a HELLO proves the link (ideal symmetric MAC); adopt the
-	// neighbor's advertised weight toward us when present so both ends
-	// agree on the link weight.
-	for _, l := range h.Links {
-		if l.Neighbor == n.ID {
-			n.UpdateLink(h.Origin, l.Weight, now)
+	if n.cfg.MeasuredQoS {
+		// Measured link sensing: the HELLO is a probe observation; the
+		// link weight comes from the bidirectional delivery estimate,
+		// not from any advertised value.
+		n.observeHello(h, now)
+	} else {
+		// Receiving a HELLO proves the link (ideal symmetric MAC); adopt
+		// the neighbor's advertised weight toward us when present so both
+		// ends agree on the link weight.
+		for _, l := range h.Links {
+			if l.Neighbor == n.ID {
+				n.UpdateLink(h.Origin, l.Weight, now)
+			}
 		}
 	}
 	tbl := neighborTable{

@@ -9,8 +9,66 @@ package rng
 // avalanches into every output bit, so nearby inputs produce uncorrelated
 // outputs.
 func Splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
+	x += gamma
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
+}
+
+// gamma is the SplitMix64 state increment (the golden-ratio constant).
+const gamma = 0x9e3779b97f4a7c15
+
+// Mix chains any number of key parts into one 64-bit draw: each part is
+// folded into the running hash through Splitmix64, so every (ordered) part
+// tuple names an uncorrelated value. It is the keyed one-shot form the
+// simulation layers use for per-(src, dst, seq) decisions — a draw depends
+// only on its key, never on how many draws happened before it.
+func Mix(parts ...uint64) uint64 {
+	var h uint64
+	for _, p := range parts {
+		h = Splitmix64(h ^ p)
+	}
+	return h
+}
+
+// Stream is a SplitMix64 sequence generator: the canonical gamma-stepped
+// state with the Splitmix64 finalizer. Unlike math/rand, a Stream's output
+// is a pure function of its seed parts and draw index — platform-stable and
+// independent of every other stream.
+type Stream struct {
+	state uint64
+}
+
+// NewStream derives an independent stream from the given key parts (Mix of
+// the parts seeds the state).
+func NewStream(parts ...uint64) Stream {
+	return Stream{state: Mix(parts...)}
+}
+
+// Uint64 returns the next 64-bit draw.
+func (s *Stream) Uint64() uint64 {
+	out := Splitmix64(s.state)
+	s.state += gamma
+	return out
+}
+
+// Int63n returns a draw in [0, n). It uses modulo reduction — the bias is
+// (2^64 mod n)/2^64, at most ~1e-10 for the sub-second jitter spans the
+// simulator passes, far below anything its statistics resolve — and panics
+// when n <= 0, matching math/rand.
+func (s *Stream) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	return int64(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a draw in [0, 1) with 53 bits of precision.
+func (s *Stream) Float64() float64 {
+	return Unit(s.Uint64())
+}
+
+// Unit maps a 64-bit draw onto [0, 1) with 53 bits of precision.
+func Unit(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
 }

@@ -1,0 +1,95 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSplitmix64Vectors pins the mixing function to the reference outputs of
+// SplitMix64 seeded with 0 (Vigna's test vectors): the repo-wide determinism
+// story depends on these exact values on every platform.
+func TestSplitmix64Vectors(t *testing.T) {
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+	}
+	for i, w := range want {
+		if got := Splitmix64(uint64(i) * gamma); got != w {
+			t.Errorf("Splitmix64(%d*gamma) = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestStreamMatchesVectors(t *testing.T) {
+	// A stream from state 0 must walk the same reference sequence.
+	s := Stream{}
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Errorf("draw %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a := NewStream(1, 7)
+	b := NewStream(1, 8)
+	c := NewStream(1, 7)
+	if a.Uint64() == b.Uint64() {
+		t.Error("streams with different keys agree on the first draw")
+	}
+	a2 := NewStream(1, 7)
+	_ = c
+	if a2.Uint64() != NewStreamFirst(1, 7) {
+		t.Error("stream draw depends on something besides its key")
+	}
+}
+
+// NewStreamFirst is a test helper returning the first draw of a key.
+func NewStreamFirst(parts ...uint64) uint64 {
+	s := NewStream(parts...)
+	return s.Uint64()
+}
+
+func TestMixOrderSensitive(t *testing.T) {
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Error("Mix ignores part order")
+	}
+	if Mix(1, 2) != Mix(1, 2) {
+		t.Error("Mix not deterministic")
+	}
+}
+
+func TestInt63nRange(t *testing.T) {
+	s := NewStream(42)
+	for i := 0; i < 1000; i++ {
+		v := s.Int63n(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Int63n(10) = %d out of range", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Int63n(0) did not panic")
+		}
+	}()
+	s.Int63n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewStream(7)
+	var sum float64
+	const n = 4096
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("Float64 mean = %g, want ~0.5", mean)
+	}
+}

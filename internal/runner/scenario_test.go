@@ -126,6 +126,47 @@ func TestMobilityScenarioWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// TestLossyScenarioWorkerDeterminism is the medium-layer acceptance check:
+// a lossy built-in with measured-QoS neighbor selection must yield
+// bit-identical encoded output for any worker budget — every loss, jitter
+// and queueing decision is keyed per (src, dst, seq), never drawn from
+// shared mutable state.
+func TestLossyScenarioWorkerDeterminism(t *testing.T) {
+	base, err := scenario.ByName("lossy-degrade", "fnbp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := *base.Topology.Deployment
+	dep.Field = geom.Field{Width: 300, Height: 300}
+	dep.Degree = 6
+	base.Topology.Deployment = &dep
+	base.Duration = 40 * time.Second
+	base.Warmup = 10 * time.Second
+	base.Phases = []scenario.Phase{
+		{At: 20 * time.Second, Action: scenario.SetLoss{Loss: 0.4}},
+		{At: 30 * time.Second, Action: scenario.SetLoss{Loss: 0.05}},
+	}
+	if !base.Protocol.MeasuredQoS {
+		t.Fatal("lossy-degrade built-in no longer enables measured QoS")
+	}
+
+	encode := func(workers int) []byte {
+		res, err := RunScenario(context.Background(), base,
+			Options{Workers: workers, Runs: 3, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(encode(1), encode(8)) {
+		t.Error("lossy measured-QoS scenario JSON differs between Workers=1 and Workers=8")
+	}
+}
+
 func TestStreamScenarioEvents(t *testing.T) {
 	sc := testScenario()
 	events, wait := StreamScenario(context.Background(), sc, Options{Runs: 2, Seed: 1})

@@ -30,6 +30,10 @@ type actionEnv struct {
 	nw    *sim.Network
 	field geom.Field
 	rng   *rand.Rand
+	// lossy is the run's lossy medium, nil on the ideal medium (the
+	// loss-shaping actions require it; Validate enforces this before the
+	// run starts).
+	lossy *sim.LossyMedium
 	// positions returns the node positions at fire time (mobility-aware).
 	positions func() []geom.Point
 }
@@ -215,6 +219,76 @@ func (p Partition) apply(env *actionEnv) error {
 	return nil
 }
 
+// SetLoss replaces the lossy medium's base packet-error rate mid-run — the
+// radio-degradation primitive (weather, interference, jamming). Requires
+// the lossy medium.
+type SetLoss struct {
+	// Loss is the new base packet-error rate, in [0, 1).
+	Loss float64
+}
+
+// Describe implements Action.
+func (s SetLoss) Describe() string { return fmt.Sprintf("set-loss %.2f", s.Loss) }
+
+// Disruptive implements Action: raising loss degrades delivery, lowering it
+// perturbs routing as links recover — either way a reconvergence window
+// opens.
+func (SetLoss) Disruptive() bool { return true }
+
+func (s SetLoss) validate() error {
+	if s.Loss < 0 || s.Loss >= 1 {
+		return fmt.Errorf("set-loss %g outside [0,1)", s.Loss)
+	}
+	return nil
+}
+
+func (s SetLoss) apply(env *actionEnv) error {
+	if env.lossy == nil {
+		return fmt.Errorf("set-loss requires the lossy medium")
+	}
+	env.lossy.SetBaseLoss(s.Loss)
+	return nil
+}
+
+// DegradeLink overrides the packet-error rate of one physical link — a
+// single fading link while the rest of the radio stays healthy. A negative
+// rate clears the override. Requires the lossy medium.
+type DegradeLink struct {
+	A, B int32
+	// Loss is the link's packet-error rate in [0, 1); negative clears the
+	// override (the link reverts to the base rate).
+	Loss float64
+}
+
+// Describe implements Action.
+func (d DegradeLink) Describe() string {
+	return fmt.Sprintf("degrade-link %d-%d %.2f", d.A, d.B, d.Loss)
+}
+
+// Disruptive implements Action.
+func (DegradeLink) Disruptive() bool { return true }
+
+func (d DegradeLink) validate() error {
+	if d.A == d.B || d.A < 0 || d.B < 0 {
+		return fmt.Errorf("degrade-link needs two distinct node indices, got %d-%d", d.A, d.B)
+	}
+	if d.Loss >= 1 {
+		return fmt.Errorf("degrade-link loss %g outside [0,1) (negative clears)", d.Loss)
+	}
+	return nil
+}
+
+func (d DegradeLink) apply(env *actionEnv) error {
+	if env.lossy == nil {
+		return fmt.Errorf("degrade-link requires the lossy medium")
+	}
+	if err := env.nw.CheckLink(d.A, d.B); err != nil {
+		return fmt.Errorf("degrade-link: %w", err)
+	}
+	env.lossy.SetLinkLoss(d.A, d.B, d.Loss)
+	return nil
+}
+
 // Compile-time interface compliance checks.
 var (
 	_ Action = FailLink{}
@@ -223,4 +297,6 @@ var (
 	_ Action = FailRandom{}
 	_ Action = RestoreAll{}
 	_ Action = Partition{}
+	_ Action = SetLoss{}
+	_ Action = DegradeLink{}
 )

@@ -118,6 +118,38 @@ func BuiltIn() []Definition {
 			},
 		},
 		{
+			Name:        "lossy-baseline",
+			Description: "static deployment over the lossy radio — measured-ETX link quality instead of oracle weights",
+			Build: func(sel string) Scenario {
+				return Scenario{
+					Name:        "lossy-baseline",
+					Description: "lossy radio (10% base loss + distance loss), measured link quality",
+					Topology:    Topology{Deployment: builtinDeployment(10)},
+					Protocol:    Protocol{Selector: sel, MeasuredQoS: true},
+					Medium:      Medium{Kind: "lossy", Loss: 0.1, DistanceLoss: 0.2},
+					Duration:    120 * time.Second,
+				}
+			},
+		},
+		{
+			Name:        "lossy-degrade",
+			Description: "the radio degrades mid-run and recovers — measured link quality tracks the loss change",
+			Build: func(sel string) Scenario {
+				return Scenario{
+					Name:        "lossy-degrade",
+					Description: "base loss 5%, degraded to 35% at 60s, restored at 100s",
+					Topology:    Topology{Deployment: builtinDeployment(10)},
+					Protocol:    Protocol{Selector: sel, MeasuredQoS: true},
+					Medium:      Medium{Kind: "lossy", Loss: 0.05},
+					Duration:    150 * time.Second,
+					Phases: []Phase{
+						{At: 60 * time.Second, Action: SetLoss{Loss: 0.35}},
+						{At: 100 * time.Second, Action: SetLoss{Loss: 0.05}},
+					},
+				}
+			},
+		},
+		{
 			Name:        "churn-storm",
 			Description: "waves of mass link failure and healing — repeated reconvergence under stress",
 			Build: func(sel string) Scenario {

@@ -46,6 +46,9 @@ type jsonScenario struct {
 	Description string      `json:"description,omitempty"`
 	Selector    string      `json:"selector"`
 	Metric      string      `json:"metric"`
+	Medium      string      `json:"medium"`
+	Loss        float64     `json:"loss,omitempty"`
+	MeasuredQoS bool        `json:"measured_qos,omitempty"`
 	DurationS   float64     `json:"duration_s"`
 	WarmupS     float64     `json:"warmup_s"`
 	SampleS     float64     `json:"sample_every_s"`
@@ -84,6 +87,7 @@ type jsonTotals struct {
 	DataSent      uint64 `json:"data_sent"`
 	DataDelivered uint64 `json:"data_delivered"`
 	DataNoRoute   uint64 `json:"data_no_route"`
+	DataLost      uint64 `json:"data_lost"`
 	DataExpired   uint64 `json:"data_expired"`
 }
 
@@ -142,6 +146,9 @@ func (r *Result) EncodeJSON(w io.Writer) error {
 			Description: sc.Description,
 			Selector:    sc.Protocol.Selector,
 			Metric:      sc.Protocol.Metric.Name(),
+			Medium:      sc.Medium.Kind,
+			Loss:        r6(sc.Medium.Loss),
+			MeasuredQoS: sc.Protocol.MeasuredQoS,
 			DurationS:   secs(sc.Duration),
 			WarmupS:     secs(sc.Warmup),
 			SampleS:     secs(sc.SampleEvery),
@@ -170,6 +177,7 @@ func (r *Result) EncodeJSON(w io.Writer) error {
 				DataSent:      run.Data.Sent,
 				DataDelivered: run.Data.Delivered,
 				DataNoRoute:   run.Data.NoRoute,
+				DataLost:      run.Data.Lost,
 				DataExpired:   run.Data.Expired,
 			},
 		}

@@ -58,9 +58,14 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 	channel := cfg.Metric.Name()
 	field := sc.Topology.field()
 	radius := sc.Topology.radius()
+	medium, lossy, err := buildMedium(sc.Medium, seed, run)
+	if err != nil {
+		return nil, err
+	}
 	netOpts := sim.NetworkOptions{
 		PropDelay: propDelay,
 		Seed:      deriveSeed(seed, "protocol", run),
+		Medium:    medium,
 	}
 
 	// Deploy: a mobile population or a static unit-disk network. Both use
@@ -90,6 +95,13 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 		}
 	}
 
+	// Distance-dependent loss needs the node geometry; only static
+	// topologies have a stable one (under mobility the captured positions
+	// would go stale, so the component stays off — see Medium docs).
+	if lossy != nil && ms == nil {
+		lossy.SetGeometry(pts, radius)
+	}
+
 	positions := func() []geom.Point {
 		if ms != nil {
 			ms.Mob.AdvanceTo(nw.Engine.Now())
@@ -112,6 +124,7 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 		nw:        nw,
 		field:     field,
 		rng:       rand.New(rand.NewSource(deriveSeed(seed, "events", run))),
+		lossy:     lossy,
 		positions: positions,
 	}
 	phases := append([]Phase(nil), sc.Phases...)
@@ -137,7 +150,10 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 	}
 
 	res := &RunResult{Run: run, Nodes: nw.Phys.N()}
-	drain := time.Duration(sim.DefaultDataTTL+2) * propDelay
+	// Probe packets traverse at most TTL hops, each bounded by the
+	// medium's per-hop latency bound (propDelay exactly on the ideal
+	// medium; queueing and jitter widen it on the lossy one).
+	drain := time.Duration(sim.DefaultDataTTL+2) * nw.HopDelayBound()
 	var (
 		prevT     time.Duration
 		prevBytes uint64
@@ -376,6 +392,29 @@ func effectiveTopology(nw *sim.Network, channel string) (*graph.Graph, []float64
 	return eff, ew
 }
 
+// buildMedium materialises the radio model for one run. The lossy medium's
+// draw seed derives from (seed, run) like every other stream, so replicate
+// runs see independent loss realisations and stay bit-reproducible at any
+// worker count.
+func buildMedium(spec Medium, seed int64, run int) (sim.Medium, *sim.LossyMedium, error) {
+	switch spec.Kind {
+	case "", "ideal":
+		return sim.NewIdealMedium(propDelay), nil, nil
+	case "lossy":
+		lm := sim.NewLossyMedium(sim.LossyConfig{
+			Loss:         spec.Loss,
+			DistanceLoss: spec.DistanceLoss,
+			BytesPerSec:  spec.BytesPerSec,
+			Jitter:       spec.Jitter,
+			PropDelay:    propDelay,
+			Seed:         deriveSeed(seed, "medium", run),
+		})
+		return lm, lm, nil
+	default:
+		return nil, nil, fmt.Errorf("scenario: unknown medium %q", spec.Kind)
+	}
+}
+
 // samplePoints realises the topology source for one run.
 func samplePoints(sc Scenario, seed int64, run int) ([]geom.Point, error) {
 	if sc.Topology.Deployment == nil {
@@ -405,6 +444,7 @@ func protocolConfig(p Protocol) (olsr.Config, error) {
 	}
 	cfg := olsr.DefaultConfig(p.Metric)
 	cfg.Selector = sel
+	cfg.MeasuredQoS = p.MeasuredQoS
 	if p.HelloInterval > 0 {
 		cfg.HelloInterval = p.HelloInterval
 		cfg.NeighborHoldTime = 3 * p.HelloInterval

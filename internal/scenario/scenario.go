@@ -92,6 +92,56 @@ type Protocol struct {
 	// positive (defaults 2s and 5s, RFC 3626).
 	HelloInterval time.Duration
 	TCInterval    time.Duration
+	// MeasuredQoS switches link sensing from the topology oracle to
+	// measurement: link weights come from windowed HELLO delivery ratios
+	// (ETX-style), the regime the lossy medium exists for.
+	MeasuredQoS bool
+}
+
+// Medium selects the radio model a scenario runs on. The zero value is the
+// ideal MAC the paper assumes.
+type Medium struct {
+	// Kind is "ideal" (default) or "lossy".
+	Kind string
+	// Loss is the lossy medium's base per-link packet-error rate, in
+	// [0, 1).
+	Loss float64
+	// DistanceLoss adds distance-dependent loss on static topologies: a
+	// link at the full communication radius suffers this much extra error
+	// rate, scaled by (d/R)². Ignored under mobility (the geometry the
+	// medium captures would go stale).
+	DistanceLoss float64
+	// Jitter bounds the lossy per-hop jitter (default 200µs).
+	Jitter time.Duration
+	// BytesPerSec overrides the serialization rate of a unit-bandwidth
+	// link (default 125000).
+	BytesPerSec float64
+}
+
+// Validate checks the medium spec.
+func (m Medium) Validate() error {
+	switch m.Kind {
+	case "", "ideal":
+		// Lossy-only knobs on the ideal medium would be silently ignored
+		// — reject them so a forgotten Kind can't simulate a perfect
+		// radio while the user believes they configured loss.
+		if m.Loss != 0 || m.DistanceLoss != 0 || m.Jitter != 0 || m.BytesPerSec != 0 {
+			return fmt.Errorf("scenario: medium knobs (loss/jitter/rate) require Kind \"lossy\", got %q", m.Kind)
+		}
+	case "lossy":
+	default:
+		return fmt.Errorf("scenario: unknown medium %q (have ideal, lossy)", m.Kind)
+	}
+	if m.Loss < 0 || m.Loss >= 1 {
+		return fmt.Errorf("scenario: medium loss %g outside [0,1)", m.Loss)
+	}
+	if m.DistanceLoss < 0 || m.DistanceLoss > 1 {
+		return fmt.Errorf("scenario: medium distance loss %g outside [0,1]", m.DistanceLoss)
+	}
+	if m.Jitter < 0 {
+		return fmt.Errorf("scenario: negative medium jitter %v", m.Jitter)
+	}
+	return nil
 }
 
 // Mobility couples the scenario to a waypoint model for its whole duration.
@@ -130,6 +180,8 @@ type Scenario struct {
 	Topology Topology
 	// Protocol configures the per-node stack.
 	Protocol Protocol
+	// Medium is the radio model (default ideal).
+	Medium Medium
 	// Mobility, when non-nil, moves the nodes for the whole run.
 	Mobility *Mobility
 	// Traffic is the probe workload.
@@ -156,6 +208,9 @@ func (sc Scenario) WithDefaults() Scenario {
 	}
 	if sc.Protocol.Selector == "" {
 		sc.Protocol.Selector = "fnbp"
+	}
+	if sc.Medium.Kind == "" {
+		sc.Medium.Kind = "ideal"
 	}
 	if sc.Traffic.Flows <= 0 {
 		sc.Traffic.Flows = 10
@@ -196,6 +251,9 @@ func (sc Scenario) Validate() error {
 	if _, err := core.ByName(sc.Protocol.Selector); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
+	if err := sc.Medium.Validate(); err != nil {
+		return err
+	}
 	if sc.Duration <= 0 {
 		return fmt.Errorf("scenario: non-positive duration %v", sc.Duration)
 	}
@@ -221,6 +279,12 @@ func (sc Scenario) Validate() error {
 		}
 		if err := ph.Action.validate(); err != nil {
 			return fmt.Errorf("scenario: phase %d: %w", i, err)
+		}
+		if sc.Medium.Kind != "lossy" {
+			switch ph.Action.(type) {
+			case SetLoss, DegradeLink:
+				return fmt.Errorf("scenario: phase %d (%s) requires the lossy medium", i, ph.Action.Describe())
+			}
 		}
 	}
 	return nil

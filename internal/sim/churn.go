@@ -10,8 +10,8 @@ import "fmt"
 // it and the endpoints stop measuring it, so their neighbor entries expire
 // after the hold time.
 func (nw *Network) FailLink(a, b int32) error {
-	if _, ok := nw.Phys.EdgeBetween(a, b); !ok {
-		return fmt.Errorf("sim: no physical link %d-%d", a, b)
+	if err := nw.CheckLink(a, b); err != nil {
+		return err
 	}
 	if nw.down == nil {
 		nw.down = make(map[[2]int32]bool)
@@ -22,10 +22,23 @@ func (nw *Network) FailLink(a, b int32) error {
 
 // RestoreLink brings a failed link back.
 func (nw *Network) RestoreLink(a, b int32) error {
+	if err := nw.CheckLink(a, b); err != nil {
+		return err
+	}
+	delete(nw.down, linkKey(a, b))
+	return nil
+}
+
+// CheckLink validates that {a, b} names an existing physical link, in
+// either endpoint order — the shared guard for everything that targets a
+// link (churn, medium degradation).
+func (nw *Network) CheckLink(a, b int32) error {
+	if n := int32(nw.Phys.N()); a < 0 || b < 0 || a >= n || b >= n {
+		return fmt.Errorf("sim: node index out of range in link %d-%d (%d nodes)", a, b, n)
+	}
 	if _, ok := nw.Phys.EdgeBetween(a, b); !ok {
 		return fmt.Errorf("sim: no physical link %d-%d", a, b)
 	}
-	delete(nw.down, linkKey(a, b))
 	return nil
 }
 

@@ -53,6 +53,66 @@ func TestFailLinkValidation(t *testing.T) {
 	}
 }
 
+// TestChurnSymmetricOrdering is the regression lock for the down-map's
+// orientation invariance: FailLink and RestoreLink called with (b, a) must
+// behave exactly like (a, b) — the map is keyed by the sorted pair, so no
+// orientation can leave a half-failed link behind.
+func TestChurnSymmetricOrdering(t *testing.T) {
+	nw := lineNetwork(t)
+	check := func(a, b int32, up bool) {
+		t.Helper()
+		if nw.LinkUp(a, b) != up || nw.LinkUp(b, a) != up {
+			t.Errorf("LinkUp(%d,%d)=%v LinkUp(%d,%d)=%v, want both %v",
+				a, b, nw.LinkUp(a, b), b, a, nw.LinkUp(b, a), up)
+		}
+	}
+	// Reversed fail, reversed restore.
+	if err := nw.FailLink(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	check(1, 2, false)
+	if err := nw.RestoreLink(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	check(1, 2, true)
+	// Reversed fail, forward restore (and vice versa).
+	if err := nw.FailLink(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.RestoreLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	check(1, 2, true)
+	if err := nw.FailLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.RestoreLink(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	check(1, 2, true)
+	// A reversed-order failure must actually stop traffic: node 0 cannot
+	// reach node 3 across the failed middle link of the line.
+	if err := nw.FailLink(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	nw.Start()
+	nw.Run(30 * time.Second)
+	done := false
+	nw.SendData(0, 3, func(ok bool, _ int, _ time.Duration) {
+		done = true
+		if ok {
+			t.Error("packet crossed a link failed with reversed ordering")
+		}
+	})
+	nw.Run(nw.Engine.Now() + time.Duration(DefaultDataTTL+1)*nw.HopDelayBound())
+	if !done {
+		t.Error("probe packet never completed")
+	}
+	// RestoreAllLinks clears reversed-order failures too.
+	nw.RestoreAllLinks()
+	check(1, 2, true)
+}
+
 // After a mid-path link fails, soft state expires and routes change to use
 // what remains; after restoration the network reconverges to the original
 // routes.

@@ -13,6 +13,9 @@ type DataStats struct {
 	// NoRoute counts packets dropped because some hop had no routing
 	// entry for the destination.
 	NoRoute uint64
+	// Lost counts packets the medium dropped in flight (lossy radio); the
+	// ideal medium never loses frames.
+	Lost uint64
 	// Expired counts packets dropped by TTL (forwarding loop or a path
 	// longer than the TTL).
 	Expired uint64
@@ -24,6 +27,10 @@ type DataStats struct {
 
 // DefaultDataTTL bounds data-packet forwarding.
 const DefaultDataTTL = 64
+
+// DataPacketBytes is the nominal data-plane frame size the medium
+// serializes and draws loss for.
+const DataPacketBytes = 512
 
 // SendData injects one data packet at src addressed to dst (graph indices)
 // at the current virtual time. Each hop consults its *own* current routing
@@ -89,7 +96,19 @@ func (nw *Network) SendData(src, dst int32, done func(delivered bool, hops int, 
 			}
 			return
 		}
-		nw.Engine.After(nw.propDelay, func() { hop(next, ttl-1) })
+		// The medium plans the unicast like any other frame: a lossy
+		// radio may drop it in flight or delay it behind the sender's
+		// transmit queue.
+		one := [1]int32{next}
+		plan := nw.medium.PlanFrame(at, one[:], DataPacketBytes, nw.Engine.Now())
+		if len(plan) == 0 {
+			nw.Data.Lost++
+			if done != nil {
+				done(false, 0, 0)
+			}
+			return
+		}
+		nw.Engine.After(plan[0].Delay, func() { hop(next, ttl-1) })
 	}
 	hop(src, DefaultDataTTL)
 }
@@ -114,8 +133,9 @@ func (nw *Network) DeliverySweep(dst int32) float64 {
 			pending--
 		})
 	}
-	// Packets traverse at most TTL hops of propDelay each.
-	nw.Run(nw.Engine.Now() + time.Duration(DefaultDataTTL+1)*nw.propDelay)
+	// Packets traverse at most TTL hops, each bounded by the medium's
+	// per-hop latency bound.
+	nw.Run(nw.Engine.Now() + time.Duration(DefaultDataTTL+1)*nw.HopDelayBound())
 	if total == 0 {
 		return 1
 	}

@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"qolsr/internal/geom"
+	"qolsr/internal/graph"
+	"qolsr/internal/rng"
+)
+
+// The radio-medium layer: every transmission — control broadcasts and
+// data-plane unicasts alike — is planned by a Medium, which decides who
+// receives the frame and after how long. The protocol machinery above never
+// schedules deliveries itself, so swapping the medium swaps the radio model
+// of the whole stack: the ideal MAC the paper assumes, or a lossy queued
+// radio whose link quality the protocol must measure.
+
+// Hop is one planned frame reception: the receiver and the total latency
+// (queueing + serialization + propagation + jitter) from the moment the
+// sender handed the frame to the medium.
+type Hop struct {
+	Dst   int32
+	Delay time.Duration
+}
+
+// Medium is the radio model one Network transmits through. Implementations
+// are single-goroutine state machines owned by their network (the event
+// engine is single-threaded); their decisions must be pure functions of
+// (medium state, arguments) so a simulation stays deterministic for any
+// worker count of the surrounding harness.
+type Medium interface {
+	// Name returns the medium's registry name ("ideal", "lossy").
+	Name() string
+	// Attach binds the medium to the network it serves. NewNetwork calls
+	// it exactly once, before any PlanFrame.
+	Attach(nw *Network)
+	// PlanFrame plans one frame of size bytes sent by src at virtual time
+	// now toward the candidate receivers (the sender's currently-up
+	// physical neighbors, in deterministic order). It returns the
+	// receivers that actually get the frame with their per-receiver
+	// latency. The returned slice is only valid until the next PlanFrame
+	// call.
+	PlanFrame(src int32, dsts []int32, size int, now time.Duration) []Hop
+	// HopDelayBound returns a per-hop latency bound harnesses use to size
+	// packet drain windows. For queued media it is a practical bound
+	// (typical frame, idle queue), not a hard worst case.
+	HopDelayBound() time.Duration
+}
+
+// DefaultPropDelay is the radio propagation+processing delay per hop.
+const DefaultPropDelay = time.Millisecond
+
+// MediumNames lists the built-in radio media in listing order.
+func MediumNames() []string { return []string{"ideal", "lossy"} }
+
+// IdealMedium is the paper's radio model: every frame reaches every
+// candidate receiver after a fixed propagation delay — no loss, no queueing,
+// no jitter ("our own C simulator that assumes an ideal MAC layer",
+// Sec. IV-A). It makes no RNG draws, so a network over an explicit
+// IdealMedium is bit-identical to one built with a nil medium.
+type IdealMedium struct {
+	prop time.Duration
+	hops []Hop
+}
+
+// NewIdealMedium returns the ideal MAC with the given propagation delay
+// (DefaultPropDelay when non-positive).
+func NewIdealMedium(prop time.Duration) *IdealMedium {
+	if prop <= 0 {
+		prop = DefaultPropDelay
+	}
+	return &IdealMedium{prop: prop}
+}
+
+// Name implements Medium.
+func (m *IdealMedium) Name() string { return "ideal" }
+
+// Attach implements Medium.
+func (m *IdealMedium) Attach(*Network) {}
+
+// HopDelayBound implements Medium.
+func (m *IdealMedium) HopDelayBound() time.Duration { return m.prop }
+
+// PlanFrame implements Medium: every candidate receives the frame after the
+// propagation delay.
+func (m *IdealMedium) PlanFrame(src int32, dsts []int32, size int, now time.Duration) []Hop {
+	m.hops = m.hops[:0]
+	for _, dst := range dsts {
+		m.hops = append(m.hops, Hop{Dst: dst, Delay: m.prop})
+	}
+	return m.hops
+}
+
+// LossyConfig parameterises the lossy medium.
+type LossyConfig struct {
+	// Loss is the base packet-error rate every link suffers, in [0, 1).
+	Loss float64
+	// DistanceLoss adds distance-dependent loss when the medium knows the
+	// node geometry (SetGeometry): a link at the full communication radius
+	// suffers this much extra error rate, scaled by (d/R)^2. Ignored
+	// without geometry.
+	DistanceLoss float64
+	// BytesPerSec is the serialization rate of a unit-bandwidth link
+	// (default 125000 — 1 Mbit/s per bandwidth-weight unit). A link's rate
+	// is BytesPerSec times its "bandwidth"-channel weight; links of graphs
+	// without that channel serialize at weight 1.
+	BytesPerSec float64
+	// Jitter bounds the uniform extra per-hop delay (default 200µs).
+	Jitter time.Duration
+	// PropDelay is the propagation delay per hop (default DefaultPropDelay).
+	PropDelay time.Duration
+	// Seed keys the loss and jitter draws. Every draw is a pure function
+	// of (Seed, src, dst, per-sender frame sequence) — splitmix64-keyed,
+	// so outcomes are platform-stable and independent of draw order.
+	Seed int64
+}
+
+// withDefaults fills the zero knobs.
+func (c LossyConfig) withDefaults() LossyConfig {
+	if c.BytesPerSec <= 0 {
+		c.BytesPerSec = 125000
+	}
+	if c.Jitter < 0 {
+		c.Jitter = 0
+	} else if c.Jitter == 0 {
+		c.Jitter = 200 * time.Microsecond
+	}
+	if c.PropDelay <= 0 {
+		c.PropDelay = DefaultPropDelay
+	}
+	return c
+}
+
+// maxPER caps per-link error rates so a configured-lossy link still delivers
+// the occasional frame (a rate of exactly 1 would silently equal FailLink).
+const maxPER = 0.99
+
+// bandwidthChannel is the weight channel the serialization rate reads.
+const bandwidthChannel = "bandwidth"
+
+// draw kinds separating the loss and jitter streams of one transmission.
+const (
+	drawLoss uint64 = iota + 1
+	drawJitter
+)
+
+// LossyMedium is a lossy, queued radio: per-link packet-error rates (base
+// plus optional distance-dependent and per-link components), a per-node
+// transmit queue whose serialization delay derives from the link's
+// bandwidth-channel weight, and bounded uniform jitter. All randomness is
+// keyed per (src, dst, frame-sequence) from the configured seed, so a
+// simulation is reproducible bit for bit at any harness worker count.
+type LossyMedium struct {
+	cfg  LossyConfig
+	base uint64 // derived draw key base
+	nw   *Network
+
+	busy []time.Duration // per-sender transmitter busy-until
+	seq  []uint64        // per-sender frame counters
+
+	linkLoss map[[2]int32]float64 // per-link PER overrides
+
+	pts    []geom.Point // optional geometry for DistanceLoss
+	radius float64
+
+	// bw caches the bandwidth-channel weights of bwGraph: resolving the
+	// channel is a per-graph operation, not a per-frame one (the pointer
+	// comparison also tracks mobility topology swaps).
+	bw      []float64
+	bwGraph *graph.Graph
+
+	hops []Hop
+}
+
+// NewLossyMedium returns a lossy medium with the given configuration.
+func NewLossyMedium(cfg LossyConfig) *LossyMedium {
+	return &LossyMedium{
+		cfg:  cfg.withDefaults(),
+		base: rng.Mix(uint64(cfg.Seed), 0x10551), // domain-separate from other streams
+	}
+}
+
+// Name implements Medium.
+func (m *LossyMedium) Name() string { return "lossy" }
+
+// Attach implements Medium.
+func (m *LossyMedium) Attach(nw *Network) {
+	m.nw = nw
+	n := nw.Phys.N()
+	m.busy = make([]time.Duration, n)
+	m.seq = make([]uint64, n)
+}
+
+// HopDelayBound implements Medium: propagation, full jitter and the
+// serialization of a data frame at the unit rate (the frames the drain
+// windows sized by this bound actually carry). Queue wait under bursts can
+// exceed it; drain windows sized by it capture everything but pathological
+// storms.
+func (m *LossyMedium) HopDelayBound() time.Duration {
+	ser := time.Duration(float64(DataPacketBytes) / m.cfg.BytesPerSec * float64(time.Second))
+	return m.cfg.PropDelay + m.cfg.Jitter + ser
+}
+
+// SetBaseLoss replaces the base packet-error rate (the SetLoss scenario
+// action). Values are clamped to [0, maxPER].
+func (m *LossyMedium) SetBaseLoss(p float64) {
+	m.cfg.Loss = clampPER(p)
+}
+
+// SetLinkLoss overrides the packet-error rate of the physical link {a, b}
+// in both directions, replacing the base rate for that link (the
+// DegradeLink scenario action). A negative rate clears the override.
+func (m *LossyMedium) SetLinkLoss(a, b int32, p float64) {
+	if p < 0 {
+		delete(m.linkLoss, linkKey(a, b))
+		return
+	}
+	if m.linkLoss == nil {
+		m.linkLoss = make(map[[2]int32]float64)
+	}
+	m.linkLoss[linkKey(a, b)] = clampPER(p)
+}
+
+// SetGeometry gives the medium the node positions and communication radius
+// the DistanceLoss component scales with. Positions are captured by
+// reference; static harnesses pass their deployment points once. (Under
+// mobility the captured positions go stale — mobile harnesses either skip
+// DistanceLoss or refresh the geometry on topology rebuilds.)
+func (m *LossyMedium) SetGeometry(pts []geom.Point, radius float64) {
+	m.pts = pts
+	m.radius = radius
+}
+
+// BaseLoss returns the current base packet-error rate.
+func (m *LossyMedium) BaseLoss() float64 { return m.cfg.Loss }
+
+// LinkPER returns the effective packet-error rate of the link {a, b}: the
+// per-link override when set, else the base rate, plus the distance
+// component when geometry is known.
+func (m *LossyMedium) LinkPER(a, b int32) float64 {
+	per := m.cfg.Loss
+	if p, ok := m.linkLoss[linkKey(a, b)]; ok {
+		per = p
+	}
+	if m.cfg.DistanceLoss > 0 && m.radius > 0 && int(a) < len(m.pts) && int(b) < len(m.pts) {
+		d := math.Hypot(m.pts[a].X-m.pts[b].X, m.pts[a].Y-m.pts[b].Y)
+		frac := d / m.radius
+		per += m.cfg.DistanceLoss * frac * frac
+	}
+	return clampPER(per)
+}
+
+// PlanFrame implements Medium. The sender's transmitter is occupied for the
+// frame's longest serialization whether or not any receiver keeps it (the
+// radio transmits regardless); each surviving receiver sees queue wait +
+// its link's serialization + propagation + its jitter draw.
+func (m *LossyMedium) PlanFrame(src int32, dsts []int32, size int, now time.Duration) []Hop {
+	m.hops = m.hops[:0]
+	if len(dsts) == 0 {
+		return m.hops
+	}
+	seq := m.seq[src]
+	m.seq[src]++
+
+	start := now
+	if m.busy[src] > start {
+		start = m.busy[src]
+	}
+	queue := start - now
+
+	var maxSer time.Duration
+	for _, dst := range dsts {
+		ser := m.serialization(src, dst, size)
+		if ser > maxSer {
+			maxSer = ser
+		}
+		if per := m.LinkPER(src, dst); per > 0 {
+			u := rng.Unit(rng.Mix(m.base, drawLoss, uint64(uint32(src)), uint64(uint32(dst)), seq))
+			if u < per {
+				continue // frame lost on this link
+			}
+		}
+		delay := queue + ser + m.cfg.PropDelay
+		if m.cfg.Jitter > 0 {
+			j := rng.Mix(m.base, drawJitter, uint64(uint32(src)), uint64(uint32(dst)), seq)
+			delay += time.Duration(j % uint64(m.cfg.Jitter))
+		}
+		m.hops = append(m.hops, Hop{Dst: dst, Delay: delay})
+	}
+	m.busy[src] = start + maxSer
+	return m.hops
+}
+
+// serialization returns the time the frame occupies the link {src, dst}:
+// size bytes at BytesPerSec scaled by the link's bandwidth-channel weight
+// (weight 1 when the graph carries no bandwidth channel or no such edge).
+func (m *LossyMedium) serialization(src, dst int32, size int) time.Duration {
+	weight := 1.0
+	if w := m.bandwidthWeights(); w != nil {
+		if e, ok := m.nw.Phys.EdgeBetween(src, dst); ok && w[e] > 0 {
+			weight = w[e]
+		}
+	}
+	secs := float64(size) / (m.cfg.BytesPerSec * weight)
+	return time.Duration(secs * float64(time.Second))
+}
+
+// bandwidthWeights returns the current graph's bandwidth-channel weights
+// (nil when the channel is absent), re-resolved only when the physical
+// graph was swapped under the network.
+func (m *LossyMedium) bandwidthWeights() []float64 {
+	if m.nw.Phys != m.bwGraph {
+		m.bwGraph = m.nw.Phys
+		if w, err := m.nw.Phys.Weights(bandwidthChannel); err == nil {
+			m.bw = w
+		} else {
+			m.bw = nil
+		}
+	}
+	return m.bw
+}
+
+func clampPER(p float64) float64 {
+	switch {
+	case p < 0 || math.IsNaN(p):
+		return 0
+	case p > maxPER:
+		return maxPER
+	default:
+		return p
+	}
+}
+
+// MediumByName builds a medium from its registry name with the given
+// propagation delay and seed; "lossy" takes the configuration's remaining
+// knobs from cfg.
+func MediumByName(name string, cfg LossyConfig) (Medium, error) {
+	switch name {
+	case "", "ideal":
+		return NewIdealMedium(cfg.PropDelay), nil
+	case "lossy":
+		return NewLossyMedium(cfg), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown medium %q (have %s)", name, strings.Join(MediumNames(), ", "))
+	}
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Medium = (*IdealMedium)(nil)
+	_ Medium = (*LossyMedium)(nil)
+)

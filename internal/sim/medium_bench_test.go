@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"qolsr/internal/geom"
+	"qolsr/internal/graph"
+	"qolsr/internal/metric"
+	"qolsr/internal/netgen"
+	"qolsr/internal/olsr"
+)
+
+// benchField builds the benchmark deployment once (~60 nodes at degree 8 on
+// a 450×450 field).
+func benchField(b *testing.B) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	dep := geom.Deployment{Field: geom.Field{Width: 450, Height: 450}, Radius: 100, Degree: 8}
+	g, err := netgen.Build(dep, "bandwidth", metric.DefaultInterval(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// benchMedium runs the full protocol stack for 60 virtual seconds over the
+// given medium and finishes with a delivery sweep — the end-to-end cost of
+// one live-stack simulation, which is what the medium layer adds overhead
+// to.
+func benchMedium(b *testing.B, mk func() Medium, measured bool) {
+	g := benchField(b)
+	cfg := olsr.DefaultConfig(metric.Bandwidth())
+	cfg.MeasuredQoS = measured
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw, err := NewNetwork(g, cfg, NetworkOptions{Seed: 5, Medium: mk()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nw.Start()
+		nw.Run(60 * time.Second)
+		_ = nw.DeliverySweep(0)
+	}
+}
+
+// BenchmarkIdealMedium is the baseline: the same program on the ideal MAC.
+func BenchmarkIdealMedium(b *testing.B) {
+	benchMedium(b, func() Medium { return NewIdealMedium(0) }, false)
+}
+
+// BenchmarkLossyMedium is the headline medium-layer number: the full stack
+// over the lossy radio (20% loss, queueing, jitter) with measured link
+// quality enabled — every frame draws loss and jitter, every HELLO feeds
+// the estimators. Track it against BenchmarkIdealMedium in
+// BENCH_medium.json.
+func BenchmarkLossyMedium(b *testing.B) {
+	benchMedium(b, func() Medium {
+		return NewLossyMedium(LossyConfig{Loss: 0.2, Seed: 3})
+	}, true)
+}

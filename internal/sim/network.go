@@ -2,11 +2,11 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"qolsr/internal/graph"
 	"qolsr/internal/olsr"
+	"qolsr/internal/rng"
 )
 
 // TrafficStats accounts control traffic by message type.
@@ -31,21 +31,30 @@ type Network struct {
 	// Data accounts data-plane packets injected with SendData.
 	Data DataStats
 
-	cfg       olsr.Config
-	channel   string
-	propDelay time.Duration
-	rng       *rand.Rand
-	indexOf   map[int64]int32
-	down      map[[2]int32]bool // failed physical links (see churn.go)
+	cfg     olsr.Config
+	channel string
+	medium  Medium
+	// jitter holds one emission-jitter stream per node, keyed by
+	// (seed, node index): a node's jitter draws are a pure function of
+	// its own key and draw count — platform-stable (no math/rand) and
+	// independent of every other node's emission schedule.
+	jitter  []rng.Stream
+	indexOf map[int64]int32
+	down    map[[2]int32]bool // failed physical links (see churn.go)
+	dsts    []int32           // broadcast candidate scratch
 }
 
 // NetworkOptions tunes the simulation harness.
 type NetworkOptions struct {
 	// PropDelay is the radio propagation+processing delay per hop
-	// (default 1ms).
+	// (default 1ms). It parameterises the default ideal medium; an
+	// explicit Medium carries its own delays and ignores this field.
 	PropDelay time.Duration
 	// Seed drives emission jitter.
 	Seed int64
+	// Medium is the radio model transmissions run through (default: the
+	// ideal MAC, NewIdealMedium(PropDelay)).
+	Medium Medium
 }
 
 // NewNetwork builds a protocol network over the physical graph. Link QoS
@@ -55,17 +64,21 @@ func NewNetwork(phys *graph.Graph, cfg olsr.Config, opts NetworkOptions) (*Netwo
 	if _, err := phys.Weights(channel); err != nil {
 		return nil, err
 	}
-	nw := &Network{
-		Engine:    &Engine{},
-		Phys:      phys,
-		cfg:       cfg,
-		channel:   channel,
-		propDelay: opts.PropDelay,
-		rng:       rand.New(rand.NewSource(opts.Seed)),
-		indexOf:   make(map[int64]int32, phys.N()),
+	medium := opts.Medium
+	if medium == nil {
+		medium = NewIdealMedium(opts.PropDelay)
 	}
-	if nw.propDelay <= 0 {
-		nw.propDelay = time.Millisecond
+	nw := &Network{
+		Engine:  &Engine{},
+		Phys:    phys,
+		cfg:     cfg,
+		channel: channel,
+		medium:  medium,
+		jitter:  make([]rng.Stream, phys.N()),
+		indexOf: make(map[int64]int32, phys.N()),
+	}
+	for i := range nw.jitter {
+		nw.jitter[i] = rng.NewStream(uint64(opts.Seed), uint64(i))
 	}
 	for x := int32(0); int(x) < phys.N(); x++ {
 		node, err := olsr.NewNode(int64(phys.ID(x)), cfg)
@@ -75,8 +88,16 @@ func NewNetwork(phys *graph.Graph, cfg olsr.Config, opts NetworkOptions) (*Netwo
 		nw.Nodes = append(nw.Nodes, node)
 		nw.indexOf[int64(phys.ID(x))] = x
 	}
+	medium.Attach(nw)
 	return nw, nil
 }
+
+// Medium returns the radio model this network transmits through.
+func (nw *Network) Medium() Medium { return nw.medium }
+
+// HopDelayBound returns the medium's per-hop latency bound — what harnesses
+// size packet drain windows with.
+func (nw *Network) HopDelayBound() time.Duration { return nw.medium.HopDelayBound() }
 
 // Start schedules the initial link measurements and the periodic HELLO/TC
 // emissions with per-node jitter, then the network is ready to Run.
@@ -84,8 +105,8 @@ func (nw *Network) Start() {
 	for i := range nw.Nodes {
 		i := i
 		nw.feedLinks(i)
-		helloJitter := time.Duration(nw.rng.Int63n(int64(nw.cfg.HelloInterval)))
-		tcJitter := nw.cfg.HelloInterval + time.Duration(nw.rng.Int63n(int64(nw.cfg.TCInterval)))
+		helloJitter := time.Duration(nw.jitter[i].Int63n(int64(nw.cfg.HelloInterval)))
+		tcJitter := nw.cfg.HelloInterval + time.Duration(nw.jitter[i].Int63n(int64(nw.cfg.TCInterval)))
 		nw.Engine.At(helloJitter, func() { nw.emitHello(i) })
 		nw.Engine.At(tcJitter, func() { nw.emitTC(i) })
 	}
@@ -95,8 +116,13 @@ func (nw *Network) Start() {
 func (nw *Network) Run(until time.Duration) { nw.Engine.Run(until) }
 
 // feedLinks refreshes a node's own link measurements from the physical
-// graph — the out-of-scope QoS metric layer of the paper.
+// graph — the out-of-scope QoS metric layer of the paper. Under measured
+// QoS the oracle is silent: nodes learn their links only from what the
+// medium actually delivers (olsr link sensing).
 func (nw *Network) feedLinks(i int) {
+	if nw.cfg.MeasuredQoS {
+		return
+	}
 	w, _ := nw.Phys.Weights(nw.channel)
 	x := int32(i)
 	now := nw.Engine.Now()
@@ -115,7 +141,7 @@ func (nw *Network) emitHello(i int) {
 	nw.Stats.HelloMessages++
 	nw.Stats.HelloBytes += uint64(len(buf))
 	nw.broadcast(int32(i), buf)
-	nw.Engine.After(nw.jittered(nw.cfg.HelloInterval), func() { nw.emitHello(i) })
+	nw.Engine.After(nw.jittered(i, nw.cfg.HelloInterval), func() { nw.emitHello(i) })
 }
 
 func (nw *Network) emitTC(i int) {
@@ -126,29 +152,33 @@ func (nw *Network) emitTC(i int) {
 		nw.Stats.TCBytes += uint64(len(buf))
 		nw.broadcast(int32(i), buf)
 	}
-	nw.Engine.After(nw.jittered(nw.cfg.TCInterval), func() { nw.emitTC(i) })
+	nw.Engine.After(nw.jittered(i, nw.cfg.TCInterval), func() { nw.emitTC(i) })
 }
 
 // jittered applies ±5% emission jitter (RFC 3626 recommends jitter to avoid
-// synchronisation).
-func (nw *Network) jittered(d time.Duration) time.Duration {
+// synchronisation), drawn from the emitting node's own stream.
+func (nw *Network) jittered(i int, d time.Duration) time.Duration {
 	span := int64(d) / 10
 	if span <= 0 {
 		return d
 	}
-	return d - time.Duration(span/2) + time.Duration(nw.rng.Int63n(span))
+	return d - time.Duration(span/2) + time.Duration(nw.jitter[i].Int63n(span))
 }
 
-// broadcast delivers an encoded message to every physical neighbor of the
-// sender after the propagation delay — the ideal MAC. Failed links carry
-// nothing.
+// broadcast hands an encoded message to the medium for delivery to the
+// sender's currently-up physical neighbors: the medium decides who receives
+// the frame and after how long. Failed links carry nothing regardless of
+// the medium.
 func (nw *Network) broadcast(from int32, buf []byte) {
+	nw.dsts = nw.dsts[:0]
 	for _, arc := range nw.Phys.Arcs(from) {
-		to := arc.To
-		if !nw.LinkUp(from, to) {
-			continue
+		if nw.LinkUp(from, arc.To) {
+			nw.dsts = append(nw.dsts, arc.To)
 		}
-		nw.Engine.After(nw.propDelay, func() { nw.deliver(from, to, buf) })
+	}
+	for _, hop := range nw.medium.PlanFrame(from, nw.dsts, len(buf), nw.Engine.Now()) {
+		to := hop.Dst
+		nw.Engine.After(hop.Delay, func() { nw.deliver(from, to, buf) })
 	}
 }
 

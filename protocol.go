@@ -39,6 +39,34 @@ var (
 	Forward = route.Forward
 )
 
+// Radio medium: the pluggable layer every transmission crosses. The ideal
+// MAC is the paper's model; the lossy medium adds per-link packet-error
+// rates, per-node transmit queues and jitter, the regime measured link
+// quality (ProtocolConfig.MeasuredQoS) exists for.
+type (
+	// Medium is the radio model a Network transmits through.
+	Medium = sim.Medium
+	// MediumHop is one planned frame reception.
+	MediumHop = sim.Hop
+	// MediumLossyConfig parameterises the lossy medium.
+	MediumLossyConfig = sim.LossyConfig
+	// MediumIdealType is the ideal MAC implementation.
+	MediumIdealType = sim.IdealMedium
+	// MediumLossyType is the lossy radio implementation.
+	MediumLossyType = sim.LossyMedium
+)
+
+var (
+	// MediumIdeal returns the ideal MAC (the default).
+	MediumIdeal = sim.NewIdealMedium
+	// MediumLossy returns a lossy, queued radio.
+	MediumLossy = sim.NewLossyMedium
+	// MediumByName resolves a medium registry name.
+	MediumByName = sim.MediumByName
+	// MediumNames lists the built-in radio media.
+	MediumNames = sim.MediumNames
+)
+
 // Protocol stack.
 type (
 	// ProtocolConfig parameterises an OLSR/QOLSR node.

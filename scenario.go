@@ -35,6 +35,8 @@ type (
 	ScenarioTopology = scenario.Topology
 	// ScenarioProtocol configures the per-node stack.
 	ScenarioProtocol = scenario.Protocol
+	// ScenarioMedium selects the radio model a scenario runs on.
+	ScenarioMedium = scenario.Medium
 	// ScenarioMobility couples a scenario to a waypoint model.
 	ScenarioMobility = scenario.Mobility
 	// ScenarioTraffic is the probe workload.
@@ -61,6 +63,10 @@ type (
 	ActionRestoreAll = scenario.RestoreAll
 	// ActionPartition splits the network along the field midline.
 	ActionPartition = scenario.Partition
+	// ActionSetLoss replaces the lossy medium's base packet-error rate.
+	ActionSetLoss = scenario.SetLoss
+	// ActionDegradeLink overrides one physical link's packet-error rate.
+	ActionDegradeLink = scenario.DegradeLink
 )
 
 // Scenario results.
