@@ -51,7 +51,7 @@ func main() {
 func run() error {
 	var (
 		figureID = flag.String("figure", "", "comma-separated sweeps to run (see -list), or \"all\" for fig6..fig9")
-		ablation = flag.String("ablation", "", "ablation short form to run instead: loopfix, locallinks, mprs, policy, upper, control, loss")
+		ablation = flag.String("ablation", "", "ablation short form to run instead: loopfix, locallinks, mprs, policy, upper, control, loss, load")
 		runs     = flag.Int("runs", 100, "independent topologies per density point")
 		seed     = flag.Int64("seed", 1, "base RNG seed")
 		workers  = flag.Int("workers", 0, "parallelism budget across points and runs (0 = GOMAXPROCS)")
@@ -112,6 +112,18 @@ func run() error {
 			return fmt.Errorf("-ablation loss has table output only; -json/-csv are not supported")
 		}
 		res, err := r.LossSweep(ctx, qolsr.LossSweepOptions{})
+		if err != nil {
+			return err
+		}
+		return res.WriteTable(os.Stdout)
+	}
+
+	if *ablation == "load" {
+		// A8 drives sustained QoS flows on the live stack; table form only.
+		if *jsonPath != "" || *csvPath != "" {
+			return fmt.Errorf("-ablation load has table output only; -json/-csv are not supported")
+		}
+		res, err := r.LoadSweep(ctx, qolsr.LoadSweepOptions{})
 		if err != nil {
 			return err
 		}
@@ -187,6 +199,10 @@ func registryListing() string {
 	b.WriteString("mediums (scenario run -medium):\n")
 	for _, m := range qolsr.MediumNames() {
 		fmt.Fprintf(&b, "  %s\n", m)
+	}
+	b.WriteString("flow classes (scenario run -flows class:count@rateBps):\n")
+	for _, c := range qolsr.FlowClasses() {
+		fmt.Fprintf(&b, "  %-10s %s\n", c.Name, c.Description)
 	}
 	return b.String()
 }

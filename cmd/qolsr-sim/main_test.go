@@ -63,15 +63,86 @@ func TestComposeExperiment(t *testing.T) {
 
 func TestRegistryListing(t *testing.T) {
 	out := registryListing()
-	for _, section := range []string{"sweeps", "quantities:", "routing policies:", "scenarios", "mediums"} {
+	for _, section := range []string{"sweeps", "quantities:", "routing policies:", "scenarios", "mediums", "flow classes"} {
 		if !strings.Contains(out, section) {
 			t.Errorf("listing missing section %q", section)
 		}
 	}
-	for _, entry := range []string{"fig6", "ablation-mprs", "set-size", "qos-optimal", "minhop-then-qos", "static-baseline", "churn-storm", "lossy-degrade", "ideal", "lossy"} {
+	for _, entry := range []string{"fig6", "ablation-mprs", "set-size", "qos-optimal", "minhop-then-qos", "static-baseline", "churn-storm", "lossy-degrade", "load-ramp", "video-vs-cbr", "ideal", "lossy"} {
 		if !strings.Contains(out, "  "+entry+"\n") {
 			t.Errorf("listing missing entry %q", entry)
 		}
+	}
+	for _, class := range qolsr.FlowClassNames() {
+		if !strings.Contains(out, "  "+class+" ") {
+			t.Errorf("listing missing flow class %q", class)
+		}
+	}
+}
+
+func TestParseFlows(t *testing.T) {
+	tr, err := parseFlows("12")
+	if err != nil || tr.Flows != 12 || tr.Mix != nil {
+		t.Errorf("bare integer: %+v, %v", tr, err)
+	}
+	tr, err = parseFlows("cbr:8@16384, video:4@24576")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Flows != 0 || len(tr.Mix) != 2 {
+		t.Fatalf("mix parse: %+v", tr)
+	}
+	if tr.Mix[0].Class != "cbr" || tr.Mix[0].Count != 8 || tr.Mix[0].RateBps != 16384 {
+		t.Errorf("first spec: %+v", tr.Mix[0])
+	}
+	if tr.Mix[1].Class != "video" || tr.Mix[1].Count != 4 {
+		t.Errorf("second spec: %+v", tr.Mix[1])
+	}
+	// Rate is optional (spec defaults apply downstream).
+	if tr, err = parseFlows("poisson:3"); err != nil || tr.Mix[0].RateBps != 0 {
+		t.Errorf("rateless spec: %+v, %v", tr, err)
+	}
+	for _, bad := range []string{"0", "-3", "cbr", "cbr:zero", "cbr:0", "cbr:2@-5", "warez:3"} {
+		if _, err := parseFlows(bad); err == nil {
+			t.Errorf("bad -flows %q accepted", bad)
+		}
+	}
+	// Unknown class errors must list the valid names.
+	_, err = parseFlows("warez:3")
+	for _, class := range qolsr.FlowClassNames() {
+		if !strings.Contains(err.Error(), class) {
+			t.Errorf("flow-class error %q does not list %q", err, class)
+		}
+	}
+}
+
+func TestCheckNameListsValid(t *testing.T) {
+	if err := checkName("ideal", qolsr.MediumNames(), "medium"); err != nil {
+		t.Fatal(err)
+	}
+	err := checkName("fso", qolsr.MediumNames(), "medium")
+	if err == nil {
+		t.Fatal("unknown medium accepted")
+	}
+	for _, m := range qolsr.MediumNames() {
+		if !strings.Contains(err.Error(), m) {
+			t.Errorf("medium error %q does not list %q", err, m)
+		}
+	}
+	// The scenario run path routes -medium through the same check.
+	if err := runScenario([]string{"-name", "static-baseline", "-medium", "fso"}); err == nil ||
+		!strings.Contains(err.Error(), "ideal") {
+		t.Errorf("-medium error does not list names: %v", err)
+	}
+	// Unknown -name lists the scenarios.
+	err = runScenario([]string{"-name", "nope"})
+	if err == nil || !strings.Contains(err.Error(), "static-baseline") {
+		t.Errorf("-name error does not list scenarios: %v", err)
+	}
+	// Unknown -flows class lists the classes.
+	if err := runScenario([]string{"-name", "static-baseline", "-flows", "warez:3"}); err == nil ||
+		!strings.Contains(err.Error(), "cbr") {
+		t.Errorf("-flows error does not list classes: %v", err)
 	}
 }
 
@@ -105,5 +176,19 @@ func TestClampPhases(t *testing.T) {
 	}
 	if sc.Phases[0].At != 45*time.Second {
 		t.Errorf("kept phase at %v, want 45s", sc.Phases[0].At)
+	}
+
+	// Traffic-mix specs past the shortened duration are dropped too.
+	lr, err := qolsr.ScenarioByName("load-ramp", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr.Duration = 70 * time.Second // the 90s wave no longer fits
+	clampPhases(&lr)
+	if len(lr.Traffic.Mix) != 2 {
+		t.Fatalf("mix after clamp = %d specs, want 2", len(lr.Traffic.Mix))
+	}
+	if err := lr.WithDefaults().Validate(); err != nil {
+		t.Errorf("clamped load-ramp invalid: %v", err)
 	}
 }

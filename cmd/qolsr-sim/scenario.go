@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"qolsr"
@@ -59,7 +61,7 @@ func runScenario(args []string) error {
 		quiet    = fs.Bool("quiet", false, "suppress progress output")
 		duration = fs.Duration("duration", 0, "override the scenario duration")
 		sample   = fs.Duration("sample", 0, "override the measurement cadence")
-		flows    = fs.Int("flows", 0, "override the probe flow count")
+		flows    = fs.String("flows", "", "override the traffic: a bare integer overrides the probe flow count; \"class:count@rateBps,...\" (e.g. cbr:8@16384,video:4@24576) installs a sustained flow-class mix (classes: see -list)")
 		medium   = fs.String("medium", "", "override the radio medium: ideal or lossy (see -list)")
 		loss     = fs.Float64("loss", -1, "override the lossy medium's base packet-error rate, in [0,1)")
 		measured = fs.Bool("measured", false, "enable measured link quality (ETX-style) instead of oracle weights")
@@ -88,10 +90,17 @@ func runScenario(args []string) error {
 	if *sample > 0 {
 		sc.SampleEvery = *sample
 	}
-	if *flows > 0 {
-		sc.Traffic.Flows = *flows
+	if *flows != "" {
+		tr, err := parseFlows(*flows)
+		if err != nil {
+			return err
+		}
+		sc.Traffic = tr
 	}
 	if *medium != "" {
+		if err := checkName(*medium, qolsr.MediumNames(), "medium"); err != nil {
+			return err
+		}
 		sc.Medium.Kind = *medium
 	}
 	if *loss >= 0 {
@@ -147,8 +156,61 @@ func runScenario(args []string) error {
 	return nil
 }
 
-// clampPhases drops timeline phases a shortened duration pushed past the
-// end, so -duration overrides keep built-ins valid.
+// checkName rejects a value absent from a registry with an error listing
+// every valid name — the one error shape all name-taking flags share.
+func checkName(value string, valid []string, what string) error {
+	for _, v := range valid {
+		if v == value {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown %s %q (have %s)", what, value, strings.Join(valid, ", "))
+}
+
+// parseFlows interprets the -flows override: a bare integer keeps the
+// legacy probe workload at that count; a comma-separated list of
+// "class:count@rateBps" entries installs a sustained flow-class mix.
+func parseFlows(spec string) (qolsr.ScenarioTraffic, error) {
+	if n, err := strconv.Atoi(spec); err == nil {
+		if n < 1 {
+			return qolsr.ScenarioTraffic{}, fmt.Errorf("-flows needs a positive probe count, got %d", n)
+		}
+		return qolsr.ScenarioTraffic{Flows: n}, nil
+	}
+	var mix []qolsr.FlowSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		class, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return qolsr.ScenarioTraffic{}, fmt.Errorf("bad -flows entry %q, want class:count@rateBps", part)
+		}
+		if err := qolsr.CheckFlowClass(class); err != nil {
+			return qolsr.ScenarioTraffic{}, err
+		}
+		countStr, rateStr, hasRate := strings.Cut(rest, "@")
+		count, err := strconv.Atoi(countStr)
+		if err != nil || count < 1 {
+			return qolsr.ScenarioTraffic{}, fmt.Errorf("bad flow count in -flows entry %q", part)
+		}
+		fspec := qolsr.FlowSpec{Class: class, Count: count}
+		if hasRate {
+			rate, err := strconv.ParseFloat(rateStr, 64)
+			if err != nil || rate <= 0 {
+				return qolsr.ScenarioTraffic{}, fmt.Errorf("bad rate in -flows entry %q", part)
+			}
+			fspec.RateBps = rate
+		}
+		mix = append(mix, fspec)
+	}
+	if len(mix) == 0 {
+		return qolsr.ScenarioTraffic{}, fmt.Errorf("-flows spec %q names no flows", spec)
+	}
+	return qolsr.ScenarioTraffic{Mix: mix}, nil
+}
+
+// clampPhases drops timeline phases and traffic-mix specs a shortened
+// duration pushed past the end, so -duration overrides keep built-ins
+// valid.
 func clampPhases(sc *qolsr.Scenario) {
 	kept := sc.Phases[:0:0]
 	for _, ph := range sc.Phases {
@@ -157,4 +219,11 @@ func clampPhases(sc *qolsr.Scenario) {
 		}
 	}
 	sc.Phases = kept
+	mix := sc.Traffic.Mix[:0:0]
+	for _, sp := range sc.Traffic.Mix {
+		if sp.Start <= sc.Duration {
+			mix = append(mix, sp)
+		}
+	}
+	sc.Traffic.Mix = mix
 }

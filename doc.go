@@ -99,6 +99,29 @@
 // lossy-degrade built-ins), and Runner.LossSweep sweeps delivery against
 // the loss rate comparing oracle against measured selection.
 //
+// # Traffic & QoS flows
+//
+// The traffic engine closes the loop on the paper's premise — flows with
+// bandwidth and delay requirements. Flow classes (FlowClassCBR,
+// FlowClassPoisson, FlowClassVideo — on-off bursty VBR) offer sustained
+// load packet by packet through the live routing tables and the medium's
+// transmit queues; an admission gate (AdmissionGate) walks the forwarding
+// path the tables actually select and checks its composed bandwidth/delay
+// against each flow's FlowRequirements before the flow may start, with an
+// oracle feasibility judgment classifying every rejection as correct or
+// false. Per-flow accounting reports delivery, throughput, delay
+// mean/p50/p95/p99 (streaming P² quantiles), inter-packet jitter and a
+// QoS verdict per flow; the mix's violation ratio — admitted flows whose
+// measured traffic broke a bound — scores a selection policy under load.
+// Scenarios carry a mix in ScenarioTraffic.Mix (the legacy Flows probe
+// count keeps its exact pre-engine behaviour), the load-ramp and
+// video-vs-cbr built-ins exercise it, and Runner.LoadSweep (ablation A8)
+// sweeps QoS satisfaction against offered load, comparing the paper's
+// QoS-based selection with hop-count selection under oracle and measured
+// link sensing. All packet arrival and size draws are keyed per
+// (seed, flow, packet-seq), so traffic runs are bit-identical at any
+// worker count.
+//
 // # Cached routing
 //
 // Protocol nodes follow link-state practice: routes are recomputed on state

@@ -8,6 +8,7 @@ import (
 
 	"qolsr/internal/geom"
 	"qolsr/internal/scenario"
+	"qolsr/internal/traffic"
 )
 
 // testScenario is a small explicit-topology program that runs in
@@ -231,5 +232,50 @@ func TestRunScenarioProgress(t *testing.T) {
 	}
 	if lines != 2 {
 		t.Errorf("progress lines = %d, want 2", lines)
+	}
+}
+
+// TestTrafficScenarioWorkerDeterminism is the traffic-engine acceptance
+// check: a lossy scenario under sustained flow-class load (all three
+// classes, admission control, per-flow delay quantiles) must yield
+// bit-identical encoded output — traffic report included — for any worker
+// budget, because every packet arrival and size draw is keyed per
+// (seed, flow, packet-seq).
+func TestTrafficScenarioWorkerDeterminism(t *testing.T) {
+	base, err := scenario.ByName("load-ramp", "fnbp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := *base.Topology.Deployment
+	dep.Field = geom.Field{Width: 300, Height: 300}
+	dep.Degree = 7
+	base.Topology.Deployment = &dep
+	base.Duration = 40 * time.Second
+	base.Warmup = 12 * time.Second
+	base.Traffic = scenario.Traffic{Mix: []traffic.Spec{
+		{Class: "cbr", Count: 2, RateBps: 8192, QoS: traffic.Requirements{MaxDelay: 60 * time.Millisecond}},
+		{Class: "poisson", Count: 2, RateBps: 8192},
+		{Class: "video", Count: 2, RateBps: 8192, Start: 20 * time.Second,
+			QoS: traffic.Requirements{MaxJitter: 30 * time.Millisecond}},
+	}}
+
+	encode := func(workers int) []byte {
+		res, err := RunScenario(context.Background(), base,
+			Options{Workers: workers, Runs: 3, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	one := encode(1)
+	if !bytes.Equal(one, encode(8)) {
+		t.Error("sustained-traffic lossy scenario JSON differs between Workers=1 and Workers=8")
+	}
+	if !bytes.Contains(one, []byte("\"traffic\"")) || !bytes.Contains(one, []byte("traffic_aggregate")) {
+		t.Error("encoded scenario carries no traffic accounting")
 	}
 }

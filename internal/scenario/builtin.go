@@ -7,6 +7,7 @@ import (
 
 	"qolsr/internal/core"
 	"qolsr/internal/geom"
+	"qolsr/internal/traffic"
 )
 
 // Definition is one named, parameterisable built-in scenario.
@@ -146,6 +147,49 @@ func BuiltIn() []Definition {
 						{At: 60 * time.Second, Action: SetLoss{Loss: 0.35}},
 						{At: 100 * time.Second, Action: SetLoss{Loss: 0.05}},
 					},
+				}
+			},
+		},
+		{
+			Name:        "load-ramp",
+			Description: "CBR offered load steps up in three waves over the lossy radio — admission and QoS violation under growing load",
+			Build: func(sel string) Scenario {
+				// Each wave adds flows at double the previous per-flow
+				// rate; the delay ceiling is what the queues eventually
+				// break.
+				ceil := traffic.Requirements{MaxDelay: 60 * time.Millisecond}
+				return Scenario{
+					Name:        "load-ramp",
+					Description: "three CBR waves (16/32/64 kB/s per flow) joining at 30s/60s/90s, 60ms delay ceiling",
+					Topology:    Topology{Deployment: builtinDeployment(10)},
+					Protocol:    Protocol{Selector: sel},
+					Medium:      Medium{Kind: "lossy", Loss: 0.02},
+					Duration:    120 * time.Second,
+					Traffic: Traffic{Mix: []traffic.Spec{
+						{Class: traffic.ClassCBR, Count: 6, RateBps: 16384, Start: 30 * time.Second, QoS: ceil},
+						{Class: traffic.ClassCBR, Count: 6, RateBps: 32768, Start: 60 * time.Second, QoS: ceil},
+						{Class: traffic.ClassCBR, Count: 6, RateBps: 65536, Start: 90 * time.Second, QoS: ceil},
+					}},
+				}
+			},
+		},
+		{
+			Name:        "video-vs-cbr",
+			Description: "bursty video flows with delay+jitter bounds compete with CBR — per-class admission and violation metrics",
+			Build: func(sel string) Scenario {
+				return Scenario{
+					Name:        "video-vs-cbr",
+					Description: "8 on-off video flows (24 kB/s, 80ms/15ms bounds, bandwidth floor 2) vs 8 CBR flows (12 kB/s, 60ms ceiling)",
+					Topology:    Topology{Deployment: builtinDeployment(10)},
+					Protocol:    Protocol{Selector: sel},
+					Medium:      Medium{Kind: "lossy", Loss: 0.05},
+					Duration:    120 * time.Second,
+					Traffic: Traffic{Mix: []traffic.Spec{
+						{Class: traffic.ClassVideo, Count: 8, RateBps: 24576, QoS: traffic.Requirements{
+							MinBandwidth: 2, MaxDelay: 80 * time.Millisecond, MaxJitter: 15 * time.Millisecond}},
+						{Class: traffic.ClassCBR, Count: 8, RateBps: 12288, QoS: traffic.Requirements{
+							MaxDelay: 60 * time.Millisecond}},
+					}},
 				}
 			},
 		},

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"qolsr/internal/stats"
+	"qolsr/internal/traffic"
 )
 
 // SchemaVersion identifies the scenario JSON encoding; bump it on breaking
@@ -53,8 +54,21 @@ type jsonScenario struct {
 	WarmupS     float64     `json:"warmup_s"`
 	SampleS     float64     `json:"sample_every_s"`
 	Flows       int         `json:"flows"`
+	Mix         []jsonSpec  `json:"traffic_mix,omitempty"`
 	Mobility    bool        `json:"mobility"`
 	Phases      []jsonPhase `json:"phases,omitempty"`
+}
+
+// jsonSpec is one traffic-mix entry.
+type jsonSpec struct {
+	Class        string  `json:"class"`
+	Count        int     `json:"count"`
+	RateBps      float64 `json:"rate_bps"`
+	PacketBytes  int     `json:"packet_bytes"`
+	StartS       float64 `json:"start_s,omitempty"`
+	MinBandwidth float64 `json:"min_bandwidth,omitempty"`
+	MaxDelayS    float64 `json:"max_delay_s,omitempty"`
+	MaxJitterS   float64 `json:"max_jitter_s,omitempty"`
 }
 
 type jsonSample struct {
@@ -69,6 +83,11 @@ type jsonSample struct {
 	OverheadFlows int     `json:"overhead_flows"`
 	ControlBPS    float64 `json:"control_bps"`
 	SetSize       float64 `json:"set_size"`
+	// Traffic-engine window fields, omitted in legacy probe mode.
+	TrafficSent       int     `json:"traffic_sent,omitempty"`
+	TrafficCompleted  int     `json:"traffic_completed,omitempty"`
+	TrafficDelivered  int     `json:"traffic_delivered,omitempty"`
+	TrafficThroughput float64 `json:"traffic_throughput_bps,omitempty"`
 }
 
 type jsonReconvergence struct {
@@ -98,6 +117,106 @@ type jsonRun struct {
 	Samples       []jsonSample        `json:"samples"`
 	Reconvergence []jsonReconvergence `json:"reconvergence,omitempty"`
 	Totals        jsonTotals          `json:"totals"`
+	Traffic       *jsonTraffic        `json:"traffic,omitempty"`
+}
+
+// jsonFlow is one flow's end-of-run record.
+type jsonFlow struct {
+	ID            int     `json:"id"`
+	Class         string  `json:"class"`
+	Src           int32   `json:"src"`
+	Dst           int32   `json:"dst"`
+	Verdict       string  `json:"verdict"`
+	Reason        string  `json:"reason,omitempty"`
+	Hops          int     `json:"hops,omitempty"`
+	Sent          uint64  `json:"sent"`
+	Delivered     uint64  `json:"delivered"`
+	Delivery      float64 `json:"delivery"`
+	ThroughputBps float64 `json:"throughput_bps"`
+	DelayMeanS    float64 `json:"delay_mean_s"`
+	DelayP50S     float64 `json:"delay_p50_s"`
+	DelayP95S     float64 `json:"delay_p95_s"`
+	DelayP99S     float64 `json:"delay_p99_s"`
+	JitterS       float64 `json:"jitter_s"`
+}
+
+// jsonClass is one class's (or the mix total's) end-of-run aggregate.
+type jsonClass struct {
+	Class          string  `json:"class"`
+	Flows          int     `json:"flows"`
+	Admitted       int     `json:"admitted"`
+	Satisfied      int     `json:"satisfied"`
+	Violated       int     `json:"violated"`
+	CorrectReject  int     `json:"correct_reject"`
+	FalseReject    int     `json:"false_reject"`
+	ViolationRatio float64 `json:"violation_ratio"`
+	Sent           uint64  `json:"sent"`
+	Delivered      uint64  `json:"delivered"`
+	Delivery       float64 `json:"delivery"`
+	ThroughputBps  float64 `json:"throughput_bps"`
+	DelayMeanS     float64 `json:"delay_mean_s"`
+	DelayP95S      float64 `json:"delay_p95_s"`
+	DelayP99S      float64 `json:"delay_p99_s"`
+	JitterS        float64 `json:"jitter_s"`
+}
+
+// jsonTraffic is one run's traffic-engine accounting.
+type jsonTraffic struct {
+	Flows   []jsonFlow  `json:"flows"`
+	Classes []jsonClass `json:"classes"`
+	Total   jsonClass   `json:"total"`
+}
+
+func classJSON(c traffic.ClassReport) jsonClass {
+	return jsonClass{
+		Class:          c.Class,
+		Flows:          c.Flows,
+		Admitted:       c.Admitted,
+		Satisfied:      c.Satisfied,
+		Violated:       c.Violated,
+		CorrectReject:  c.CorrectReject,
+		FalseReject:    c.FalseReject,
+		ViolationRatio: r6(c.ViolationRatio()),
+		Sent:           c.Sent,
+		Delivered:      c.Delivered,
+		Delivery:       r6(c.Delivery),
+		ThroughputBps:  r6(c.Throughput),
+		DelayMeanS:     secs(c.DelayMean),
+		DelayP95S:      secs(c.DelayP95),
+		DelayP99S:      secs(c.DelayP99),
+		JitterS:        secs(c.Jitter),
+	}
+}
+
+func trafficJSON(rep *traffic.Report) *jsonTraffic {
+	if rep == nil {
+		return nil
+	}
+	jt := &jsonTraffic{Total: classJSON(rep.Total)}
+	for _, f := range rep.Flows {
+		jt.Flows = append(jt.Flows, jsonFlow{
+			ID:            f.ID,
+			Class:         f.Class,
+			Src:           f.Src,
+			Dst:           f.Dst,
+			Verdict:       string(f.Verdict),
+			Reason:        f.Reason,
+			Hops:          f.Decision.Hops,
+			Sent:          f.Sent,
+			Delivered:     f.Delivered,
+			Delivery:      r6(f.Delivery),
+			ThroughputBps: r6(f.Throughput),
+			DelayMeanS:    secs(f.DelayMean),
+			DelayP50S:     secs(f.DelayP50),
+			DelayP95S:     secs(f.DelayP95),
+			DelayP99S:     secs(f.DelayP99),
+			JitterS:       secs(f.Jitter),
+		})
+	}
+	for _, c := range rep.Classes {
+		jt.Classes = append(jt.Classes, classJSON(c))
+	}
+	return jt
 }
 
 type jsonAggregate struct {
@@ -110,27 +229,48 @@ type jsonAggregate struct {
 }
 
 type jsonDoc struct {
-	Schema    string          `json:"schema"`
-	Scenario  jsonScenario    `json:"scenario"`
-	Seed      int64           `json:"seed"`
-	Runs      int             `json:"runs"`
-	RunData   []jsonRun       `json:"run_results"`
-	Aggregate []jsonAggregate `json:"aggregate"`
+	Schema     string           `json:"schema"`
+	Scenario   jsonScenario     `json:"scenario"`
+	Seed       int64            `json:"seed"`
+	Runs       int              `json:"runs"`
+	RunData    []jsonRun        `json:"run_results"`
+	Aggregate  []jsonAggregate  `json:"aggregate"`
+	TrafficAgg []jsonTrafficAgg `json:"traffic_aggregate,omitempty"`
+}
+
+// jsonTrafficAgg is one flow class's cross-run aggregate.
+type jsonTrafficAgg struct {
+	Class         string   `json:"class"`
+	Flows         int      `json:"flows"`
+	Admitted      int      `json:"admitted"`
+	Satisfied     int      `json:"satisfied"`
+	Violated      int      `json:"violated"`
+	CorrectReject int      `json:"correct_reject"`
+	FalseReject   int      `json:"false_reject"`
+	Violation     jsonStat `json:"violation_ratio"`
+	Delivery      jsonStat `json:"delivery"`
+	ThroughputBps jsonStat `json:"throughput_bps"`
+	DelayP95S     jsonStat `json:"delay_p95_s"`
+	JitterS       jsonStat `json:"jitter_s"`
 }
 
 func sampleJSON(s Sample) jsonSample {
 	return jsonSample{
-		TimeS:         secs(s.Time),
-		Nodes:         s.Nodes,
-		Links:         s.Links,
-		Connected:     s.Connected,
-		Delivered:     s.Delivered,
-		Delivery:      r6(s.Delivery),
-		HopStretch:    r6(s.HopStretch),
-		Overhead:      r6(s.Overhead),
-		OverheadFlows: s.OverheadFlows,
-		ControlBPS:    r6(s.ControlBPS),
-		SetSize:       r6(s.SetSize),
+		TimeS:             secs(s.Time),
+		Nodes:             s.Nodes,
+		Links:             s.Links,
+		Connected:         s.Connected,
+		Delivered:         s.Delivered,
+		Delivery:          r6(s.Delivery),
+		HopStretch:        r6(s.HopStretch),
+		Overhead:          r6(s.Overhead),
+		OverheadFlows:     s.OverheadFlows,
+		ControlBPS:        r6(s.ControlBPS),
+		SetSize:           r6(s.SetSize),
+		TrafficSent:       s.TrafficSent,
+		TrafficCompleted:  s.TrafficCompleted,
+		TrafficDelivered:  s.TrafficDelivered,
+		TrafficThroughput: r6(s.TrafficThroughputBps),
 	}
 }
 
@@ -158,6 +298,18 @@ func (r *Result) EncodeJSON(w io.Writer) error {
 		Seed: r.Seed,
 		Runs: len(r.Runs),
 	}
+	for _, sp := range sc.Traffic.Mix {
+		doc.Scenario.Mix = append(doc.Scenario.Mix, jsonSpec{
+			Class:        sp.Class,
+			Count:        sp.Count,
+			RateBps:      r6(sp.RateBps),
+			PacketBytes:  sp.PacketBytes,
+			StartS:       secs(sp.Start),
+			MinBandwidth: r6(sp.QoS.MinBandwidth),
+			MaxDelayS:    secs(sp.QoS.MaxDelay),
+			MaxJitterS:   secs(sp.QoS.MaxJitter),
+		})
+	}
 	for _, ph := range sc.Phases {
 		doc.Scenario.Phases = append(doc.Scenario.Phases, jsonPhase{AtS: secs(ph.At), Action: ph.Action.Describe()})
 	}
@@ -180,6 +332,7 @@ func (r *Result) EncodeJSON(w io.Writer) error {
 				DataLost:      run.Data.Lost,
 				DataExpired:   run.Data.Expired,
 			},
+			Traffic: trafficJSON(run.Traffic),
 		}
 		for _, s := range run.Samples {
 			jr.Samples = append(jr.Samples, sampleJSON(s))
@@ -202,6 +355,23 @@ func (r *Result) EncodeJSON(w io.Writer) error {
 			Overhead:   statOf(&agg.Overhead),
 			ControlBPS: statOf(&agg.ControlBPS),
 			SetSize:    statOf(&agg.SetSize),
+		})
+	}
+	for _, agg := range r.AggregateTraffic() {
+		agg := agg
+		doc.TrafficAgg = append(doc.TrafficAgg, jsonTrafficAgg{
+			Class:         agg.Class,
+			Flows:         agg.Flows,
+			Admitted:      agg.Admitted,
+			Satisfied:     agg.Satisfied,
+			Violated:      agg.Violated,
+			CorrectReject: agg.CorrectReject,
+			FalseReject:   agg.FalseReject,
+			Violation:     statOf(&agg.Violation),
+			Delivery:      statOf(&agg.Delivery),
+			ThroughputBps: statOf(&agg.Throughput),
+			DelayP95S:     statOf(&agg.DelayP95),
+			JitterS:       statOf(&agg.Jitter),
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -242,10 +412,49 @@ func (r *Result) EncodeCSV(w io.Writer) error {
 				{"control_bps", fmt.Sprintf("%.6f", r6(s.ControlBPS))},
 				{"set_size", fmt.Sprintf("%.6f", r6(s.SetSize))},
 			}
+			if run.Traffic != nil {
+				cells = append(cells,
+					struct{ q, v string }{"traffic_sent", fmt.Sprintf("%d", s.TrafficSent)},
+					struct{ q, v string }{"traffic_delivered", fmt.Sprintf("%d", s.TrafficDelivered)},
+					struct{ q, v string }{"traffic_throughput_bps", fmt.Sprintf("%.6f", r6(s.TrafficThroughputBps))},
+				)
+			}
 			for _, c := range cells {
 				if err := row(run.Run, t, c.q, c.v); err != nil {
 					return err
 				}
+			}
+		}
+		if run.Traffic != nil {
+			// One verdict summary row group per class at the end of the
+			// run, plus the mix total.
+			end := fmt.Sprintf("%g", secs(sc.Duration))
+			emit := func(c jsonClass) error {
+				prefix := "traffic_" + c.Class + "_"
+				cells := []struct{ q, v string }{
+					{prefix + "admitted", fmt.Sprintf("%d", c.Admitted)},
+					{prefix + "violated", fmt.Sprintf("%d", c.Violated)},
+					{prefix + "correct_reject", fmt.Sprintf("%d", c.CorrectReject)},
+					{prefix + "false_reject", fmt.Sprintf("%d", c.FalseReject)},
+					{prefix + "violation_ratio", fmt.Sprintf("%.6f", c.ViolationRatio)},
+					{prefix + "delivery", fmt.Sprintf("%.6f", c.Delivery)},
+					{prefix + "throughput_bps", fmt.Sprintf("%.6f", c.ThroughputBps)},
+					{prefix + "delay_p95_s", fmt.Sprintf("%.6f", c.DelayP95S)},
+				}
+				for _, cell := range cells {
+					if err := row(run.Run, end, cell.q, cell.v); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for _, c := range run.Traffic.Classes {
+				if err := emit(classJSON(c)); err != nil {
+					return err
+				}
+			}
+			if err := emit(classJSON(run.Traffic.Total)); err != nil {
+				return err
 			}
 		}
 		for _, rc := range run.Reconvergence {
@@ -293,7 +502,46 @@ func (r *Result) WriteTable(w io.Writer) error {
 			return err
 		}
 	}
+	if err := r.writeTraffic(w); err != nil {
+		return err
+	}
 	return r.writeReconvergence(w)
+}
+
+// writeTraffic summarises the traffic engine's cross-run class aggregates —
+// admission and verdict counts, the QoS-violation ratio, and the measured
+// delivery/delay/jitter. Silent in legacy probe mode.
+func (r *Result) writeTraffic(w io.Writer) error {
+	aggs := r.AggregateTraffic()
+	if len(aggs) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "# traffic (summed across runs; rates/delays are per-run means)"); err != nil {
+		return err
+	}
+	header := []string{"class", "flows", "admit", "viol", "c-rej", "f-rej", "violratio", "delivery", "thru_B/s", "p95_ms", "jit_ms"}
+	if _, err := fmt.Fprintln(w, strings.Join(padCells(header), "  ")); err != nil {
+		return err
+	}
+	for _, agg := range aggs {
+		cells := []string{
+			agg.Class,
+			fmt.Sprintf("%d", agg.Flows),
+			fmt.Sprintf("%d", agg.Admitted),
+			fmt.Sprintf("%d", agg.Violated),
+			fmt.Sprintf("%d", agg.CorrectReject),
+			fmt.Sprintf("%d", agg.FalseReject),
+			fmt.Sprintf("%.3f", agg.Violation.Mean()),
+			fmt.Sprintf("%.3f", agg.Delivery.Mean()),
+			fmt.Sprintf("%.0f", agg.Throughput.Mean()),
+			fmt.Sprintf("%.2f", agg.DelayP95.Mean()*1e3),
+			fmt.Sprintf("%.2f", agg.Jitter.Mean()*1e3),
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(padCells(cells), "  ")); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeReconvergence summarises recovery per disruptive phase across runs.

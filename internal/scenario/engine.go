@@ -14,6 +14,7 @@ import (
 	"qolsr/internal/olsr"
 	"qolsr/internal/route"
 	"qolsr/internal/sim"
+	"qolsr/internal/traffic"
 )
 
 // propDelay is the per-hop radio delay scenarios run with; the probe drain
@@ -110,12 +111,43 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 		return pts
 	}
 
-	flows := drawFlows(sc.Traffic.Flows, nw.Phys.N(), deriveSeed(seed, "traffic", run))
+	flowCount := sc.Traffic.Flows
+	if len(sc.Traffic.Mix) > 0 {
+		flowCount = 0
+		for _, sp := range sc.Traffic.Mix {
+			flowCount += sp.Count
+		}
+	}
+	flows := drawFlows(flowCount, nw.Phys.N(), deriveSeed(seed, "traffic", run))
 
 	if ms != nil {
 		ms.Start()
 	} else {
 		nw.Start()
+	}
+
+	// Engine mode: the flow-class mix rides the live stack as sustained
+	// load — admission-gated at each flow's start, contending for the
+	// medium's transmit queues until the run ends.
+	var eng *traffic.Engine
+	if len(sc.Traffic.Mix) > 0 {
+		pairs := make([][2]int32, len(flows))
+		for i, f := range flows {
+			pairs[i] = [2]int32{f.src, f.dst}
+		}
+		tFlows, err := traffic.FlowsFromSpecs(sc.Traffic.Mix, pairs, sc.Warmup)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		eng = traffic.NewEngine(nw, deriveSeed(seed, "flows", run))
+		for _, f := range tFlows {
+			if err := eng.Add(f); err != nil {
+				return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+			}
+		}
+		if err := eng.Start(sc.Duration); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
 	}
 
 	// Timeline: apply each phase at its virtual time. Equal-time phases
@@ -157,6 +189,7 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 	var (
 		prevT     time.Duration
 		prevBytes uint64
+		prevCnt   traffic.Counters
 	)
 	for _, t := range sc.SampleTimes() {
 		if err := ctx.Err(); err != nil {
@@ -166,12 +199,15 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 		if phaseErr != nil {
 			return nil, phaseErr
 		}
-		s, ctrl, err := measure(nw, cfg.Metric, channel, flows, t, prevT, prevBytes, drain)
+		s, ctrl, err := measure(nw, cfg.Metric, channel, flows, t, prevT, prevBytes, drain, eng, prevCnt)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: sample at %v: %w", sc.Name, t, err)
 		}
 		prevT = t
 		prevBytes = ctrl
+		if eng != nil {
+			prevCnt = eng.Counters()
+		}
 		res.Samples = append(res.Samples, s)
 		if emit != nil {
 			emit(s)
@@ -184,6 +220,17 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 	nw.Run(sc.Duration)
 	if phaseErr != nil {
 		return nil, phaseErr
+	}
+	if eng != nil {
+		// Let in-flight packets complete before the final accounting
+		// (sources stop at Duration; only deliveries and periodic
+		// control emissions happen in this window). The drain flushes
+		// bounded queues, not a saturated backlog — under sustained
+		// overload, packets still queued at the horizon count as sent
+		// but never complete, deflating end-of-run delivery exactly as a
+		// real measurement window would.
+		nw.Run(sc.Duration + drain)
+		res.Traffic = eng.Report()
 	}
 
 	res.Reconvergence = reconvergence(res.Samples, disruptions, sc.Duration)
@@ -259,15 +306,19 @@ func reconvergence(samples []Sample, disruptions []disruption, duration time.Dur
 
 // measure takes one sample at virtual time t: it snapshots control traffic
 // and advertised sets, evaluates the sources' routing tables against the
-// centralized optimum on the current effective topology, injects one probe
-// packet per flow and runs the engine through the drain window so every
-// packet completes. It returns the sample and the control-byte counter as
-// of t — the caller must carry that (not the post-drain counter) into the
-// next sample's rate, or control messages sent during each drain window
-// would vanish from every rate. A routing-table failure aborts the sample:
-// it is surfaced to the caller instead of being silently sampled as an
-// empty table.
-func measure(nw *sim.Network, m metric.Metric, channel string, flows []flow, t, prevT time.Duration, prevBytes uint64, drain time.Duration) (Sample, uint64, error) {
+// centralized optimum on the current effective topology, and measures the
+// data plane. In legacy probe mode it injects one probe packet per flow and
+// runs the engine through the drain window so every packet completes; in
+// traffic-engine mode (eng non-nil) the sustained flows are already in
+// flight, so the sample diffs the engine's counters over the window instead
+// (Delivery is then delivered/completed packets of the window) and no time
+// advances. It returns the sample and the control-byte counter as of t —
+// the caller must carry that (not the post-drain counter) into the next
+// sample's rate, or control messages sent during each drain window would
+// vanish from every rate. A routing-table failure aborts the sample: it is
+// surfaced to the caller instead of being silently sampled as an empty
+// table.
+func measure(nw *sim.Network, m metric.Metric, channel string, flows []flow, t, prevT time.Duration, prevBytes uint64, drain time.Duration, eng *traffic.Engine, prevCnt traffic.Counters) (Sample, uint64, error) {
 	s := Sample{Time: t, Nodes: nw.Phys.N()}
 
 	ctrl := nw.Stats.HelloBytes + nw.Stats.TCBytes
@@ -336,6 +387,11 @@ func measure(nw *sim.Network, m metric.Metric, channel string, flows []flow, t, 
 			}
 		}
 
+		if eng != nil {
+			// Sustained flows are already offering load; probes would
+			// only distort the queues they contend for.
+			continue
+		}
 		nw.SendData(f.src, f.dst, func(ok bool, hops int, _ time.Duration) {
 			if !ok {
 				return
@@ -347,11 +403,25 @@ func measure(nw *sim.Network, m metric.Metric, channel string, flows []flow, t, 
 			}
 		})
 	}
-	nw.Run(t + drain)
-
-	s.Delivery = 1
-	if s.Connected > 0 {
-		s.Delivery = float64(s.Delivered) / float64(s.Connected)
+	if eng == nil {
+		nw.Run(t + drain)
+		s.Delivery = 1
+		if s.Connected > 0 {
+			s.Delivery = float64(s.Delivered) / float64(s.Connected)
+		}
+	} else {
+		cnt := eng.Counters()
+		s.TrafficSent = int(cnt.Sent - prevCnt.Sent)
+		s.TrafficCompleted = int(cnt.Completed - prevCnt.Completed)
+		s.TrafficDelivered = int(cnt.Delivered - prevCnt.Delivered)
+		if secs := (t - prevT).Seconds(); secs > 0 {
+			s.TrafficThroughputBps = float64(cnt.BytesDelivered-prevCnt.BytesDelivered) / secs
+		}
+		s.Delivered = s.TrafficDelivered
+		s.Delivery = 1
+		if s.TrafficCompleted > 0 {
+			s.Delivery = float64(s.TrafficDelivered) / float64(s.TrafficCompleted)
+		}
 	}
 	if stretchN > 0 {
 		s.HopStretch = stretchSum / float64(stretchN)
@@ -456,30 +526,17 @@ func protocolConfig(p Protocol) (olsr.Config, error) {
 	return cfg, nil
 }
 
-// drawFlows picks the persistent probe pairs: uniform ordered (src, dst)
-// pairs with src != dst, clamped to the number of distinct pairs.
+// drawFlows picks the persistent flow endpoints: uniform ordered
+// (src, dst) pairs with src != dst, clamped to the number of distinct
+// pairs (sim.DrawPairs — the draw sequence is locked by the goldens).
 func drawFlows(count, n int, seed int64) []flow {
-	if n < 2 {
+	pairs := sim.DrawPairs(n, count, seed)
+	if len(pairs) == 0 {
 		return nil
 	}
-	if max := n * (n - 1); count > max {
-		count = max
-	}
-	rng := rand.New(rand.NewSource(seed))
-	seen := make(map[flow]bool, count)
-	out := make([]flow, 0, count)
-	for len(out) < count {
-		f := flow{src: int32(rng.Intn(n))}
-		d := int32(rng.Intn(n - 1))
-		if d >= f.src {
-			d++
-		}
-		f.dst = d
-		if seen[f] {
-			continue
-		}
-		seen[f] = true
-		out = append(out, f)
+	out := make([]flow, len(pairs))
+	for i, p := range pairs {
+		out[i] = flow{src: p[0], dst: p[1]}
 	}
 	return out
 }

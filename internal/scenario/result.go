@@ -5,6 +5,7 @@ import (
 
 	"qolsr/internal/sim"
 	"qolsr/internal/stats"
+	"qolsr/internal/traffic"
 )
 
 // Sample is one measurement at one virtual time of one run.
@@ -43,6 +44,24 @@ type Sample struct {
 	ControlBPS float64
 	// SetSize is the mean advertised-set size across nodes.
 	SetSize float64
+
+	// Traffic-engine fields, set only when the scenario runs a flow-class
+	// Mix (zero in legacy probe mode). In engine mode Delivery is
+	// packet-based — TrafficDelivered/TrafficCompleted over the window
+	// ending at Time — while Connected still counts physically-connected
+	// flow pairs.
+
+	// TrafficSent counts flow packets handed to the data plane in the
+	// window.
+	TrafficSent int
+	// TrafficCompleted counts flow packets that finished (delivered or
+	// dropped) in the window.
+	TrafficCompleted int
+	// TrafficDelivered counts flow packets delivered in the window.
+	TrafficDelivered int
+	// TrafficThroughputBps is the delivered payload rate over the window,
+	// bytes per virtual second.
+	TrafficThroughputBps float64
 }
 
 // Reconvergence reports how the protocol recovered from one disruptive
@@ -86,6 +105,10 @@ type RunResult struct {
 	// Control and Data are the run's final traffic totals.
 	Control sim.TrafficStats
 	Data    sim.DataStats
+	// Traffic is the flow engine's end-of-run accounting: per-flow and
+	// per-class delivery, delay quantiles, jitter and QoS verdicts. Nil
+	// in legacy probe mode.
+	Traffic *traffic.Report
 	// Rebuilds counts mobility topology refreshes (0 when static).
 	Rebuilds int
 }
@@ -109,6 +132,9 @@ type AggregateSample struct {
 	Overhead   stats.Accumulator
 	ControlBPS stats.Accumulator
 	SetSize    stats.Accumulator
+	// Throughput accumulates the traffic engine's windowed delivered
+	// rate; its N is zero in legacy probe mode.
+	Throughput stats.Accumulator
 }
 
 // Aggregate folds the per-run samples into one accumulator per sample
@@ -132,8 +158,11 @@ func (r *Result) Aggregate() []AggregateSample {
 			// flow contributed; folding those into the mean would
 			// report "better than optimal" exactly when the network
 			// is at its worst. Their accumulators' N reflects the
-			// runs with data.
-			if s.Delivered > 0 {
+			// runs with data. The guard is on the value (a measured
+			// stretch is always >= 1): in traffic-engine mode Delivered
+			// counts flow packets while no probe stretch is measured at
+			// all, so a Delivered-based guard would fold the sentinel.
+			if s.HopStretch > 0 {
 				agg[i].HopStretch.Add(s.HopStretch)
 			}
 			if s.OverheadFlows > 0 {
@@ -141,7 +170,79 @@ func (r *Result) Aggregate() []AggregateSample {
 			}
 			agg[i].ControlBPS.Add(s.ControlBPS)
 			agg[i].SetSize.Add(s.SetSize)
+			if s.TrafficSent > 0 || s.TrafficCompleted > 0 {
+				agg[i].Throughput.Add(s.TrafficThroughputBps)
+			}
 		}
 	}
 	return agg
+}
+
+// ClassAggregate folds one flow class's end-of-run records across runs:
+// verdict counts are summed, rates and quantiles accumulate the per-run
+// values.
+type ClassAggregate struct {
+	Class string
+	// Summed verdict counts across runs.
+	Flows, Admitted, Satisfied, Violated, CorrectReject, FalseReject int
+	// Per-run accumulators.
+	Delivery   stats.Accumulator
+	Throughput stats.Accumulator
+	DelayP95   stats.Accumulator // seconds
+	Jitter     stats.Accumulator // seconds
+	Violation  stats.Accumulator // per-run violation ratio
+}
+
+// AggregateTraffic folds the runs' traffic reports per flow class, in
+// first-seen class order with the all-classes total last. Nil when no run
+// carried a traffic report (legacy probe mode).
+func (r *Result) AggregateTraffic() []ClassAggregate {
+	var (
+		order []string
+		byCls = make(map[string]*ClassAggregate)
+	)
+	get := func(name string) *ClassAggregate {
+		if a, ok := byCls[name]; ok {
+			return a
+		}
+		order = append(order, name)
+		a := &ClassAggregate{Class: name}
+		byCls[name] = a
+		return a
+	}
+	fold := func(a *ClassAggregate, c traffic.ClassReport) {
+		a.Flows += c.Flows
+		a.Admitted += c.Admitted
+		a.Satisfied += c.Satisfied
+		a.Violated += c.Violated
+		a.CorrectReject += c.CorrectReject
+		a.FalseReject += c.FalseReject
+		a.Delivery.Add(c.Delivery)
+		a.Throughput.Add(c.Throughput)
+		a.DelayP95.Add(c.DelayP95.Seconds())
+		a.Jitter.Add(c.Jitter.Seconds())
+		a.Violation.Add(c.ViolationRatio())
+	}
+	for _, run := range r.Runs {
+		if run == nil || run.Traffic == nil {
+			continue
+		}
+		for _, c := range run.Traffic.Classes {
+			fold(get(c.Class), c)
+		}
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	for _, run := range r.Runs {
+		if run == nil || run.Traffic == nil {
+			continue
+		}
+		fold(get("all"), run.Traffic.Total)
+	}
+	out := make([]ClassAggregate, len(order))
+	for i, name := range order {
+		out[i] = *byCls[name]
+	}
+	return out
 }

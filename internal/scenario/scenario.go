@@ -21,6 +21,7 @@ import (
 	"qolsr/internal/core"
 	"qolsr/internal/geom"
 	"qolsr/internal/metric"
+	"qolsr/internal/traffic"
 )
 
 // Topology chooses where the scenario's nodes come from. Exactly one of
@@ -153,12 +154,22 @@ type Mobility struct {
 	RebuildEvery time.Duration
 }
 
-// Traffic is the probe workload: persistent random (source, destination)
-// flows, each sending one data-plane packet per measurement sample.
+// Traffic is the data-plane workload. Exactly one of the two forms is
+// active: the legacy probe workload (Flows), or a sustained flow-class mix
+// (Mix) driven by the traffic engine.
 type Traffic struct {
-	// Flows is the number of persistent probe flows (default 10, clamped
-	// to the available ordered pairs).
+	// Flows is the legacy probe workload: persistent random (source,
+	// destination) flows, each sending one data-plane packet per
+	// measurement sample — equivalent to a minimal CBR probe class paced
+	// by the sample clock. Default 10 (clamped to the available ordered
+	// pairs) when Mix is empty; must be unset when Mix is given.
 	Flows int
+	// Mix, when non-empty, replaces the probes with sustained flows: each
+	// spec contributes Count flows of its class (cbr, poisson, video),
+	// admission-controlled against their QoS requirements and driven
+	// packet by packet through the routing tables and the radio medium.
+	// Specs with a zero Start begin at the scenario warmup.
+	Mix []traffic.Spec
 }
 
 // Phase is one timeline entry: an action applied at a virtual time.
@@ -212,8 +223,16 @@ func (sc Scenario) WithDefaults() Scenario {
 	if sc.Medium.Kind == "" {
 		sc.Medium.Kind = "ideal"
 	}
-	if sc.Traffic.Flows <= 0 {
-		sc.Traffic.Flows = 10
+	if len(sc.Traffic.Mix) == 0 {
+		if sc.Traffic.Flows <= 0 {
+			sc.Traffic.Flows = 10
+		}
+	} else {
+		mix := make([]traffic.Spec, len(sc.Traffic.Mix))
+		for i, sp := range sc.Traffic.Mix {
+			mix[i] = sp.WithDefaults()
+		}
+		sc.Traffic.Mix = mix
 	}
 	if sc.Duration <= 0 {
 		sc.Duration = 60 * time.Second
@@ -256,6 +275,19 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.Duration <= 0 {
 		return fmt.Errorf("scenario: non-positive duration %v", sc.Duration)
+	}
+	if len(sc.Traffic.Mix) > 0 {
+		if sc.Traffic.Flows > 0 {
+			return fmt.Errorf("scenario: traffic sets both the legacy Flows probe count and a Mix — use one")
+		}
+		for i, sp := range sc.Traffic.Mix {
+			if err := sp.WithDefaults().Validate(); err != nil {
+				return fmt.Errorf("scenario: traffic mix %d: %w", i, err)
+			}
+			if sp.Start > sc.Duration {
+				return fmt.Errorf("scenario: traffic mix %d starts at %v, after the %v duration", i, sp.Start, sc.Duration)
+			}
+		}
 	}
 	if sc.SampleEvery < minSampleEvery {
 		return fmt.Errorf("scenario: sample interval %v below minimum %v", sc.SampleEvery, minSampleEvery)

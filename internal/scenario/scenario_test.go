@@ -153,8 +153,8 @@ func TestExecuteMobility(t *testing.T) {
 
 func TestBuiltinRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 8 {
-		t.Fatalf("built-ins = %d, want 8: %v", len(names), names)
+	if len(names) != 10 {
+		t.Fatalf("built-ins = %d, want 10: %v", len(names), names)
 	}
 	for _, name := range names {
 		for _, sel := range []string{"", "fnbp", "topofilter", "qolsr", "full"} {

@@ -32,12 +32,21 @@ const DefaultDataTTL = 64
 // serializes and draws loss for.
 const DataPacketBytes = 512
 
-// SendData injects one data packet at src addressed to dst (graph indices)
-// at the current virtual time. Each hop consults its *own* current routing
-// table when the packet arrives — exactly how an OLSR data plane behaves,
-// including transient loops while tables disagree (cut off by TTL). done,
-// when non-nil, is invoked at delivery or drop time.
+// SendData injects one data packet of the nominal probe size. See
+// SendDataSized.
 func (nw *Network) SendData(src, dst int32, done func(delivered bool, hops int, latency time.Duration)) {
+	nw.SendDataSized(src, dst, DataPacketBytes, done)
+}
+
+// SendDataSized injects one data packet of size bytes at src addressed to
+// dst (graph indices) at the current virtual time. Each hop consults its
+// *own* current routing table when the packet arrives — exactly how an OLSR
+// data plane behaves, including transient loops while tables disagree (cut
+// off by TTL). The size feeds the medium's per-hop planning, so on a queued
+// radio larger packets occupy the sender's transmitter for longer and
+// sustained flows contend for it. done, when non-nil, is invoked at delivery
+// or drop time.
+func (nw *Network) SendDataSized(src, dst int32, size int, done func(delivered bool, hops int, latency time.Duration)) {
 	nw.Data.Sent++
 	start := nw.Engine.Now()
 	var hop func(at int32, ttl int)
@@ -100,7 +109,7 @@ func (nw *Network) SendData(src, dst int32, done func(delivered bool, hops int, 
 		// radio may drop it in flight or delay it behind the sender's
 		// transmit queue.
 		one := [1]int32{next}
-		plan := nw.medium.PlanFrame(at, one[:], DataPacketBytes, nw.Engine.Now())
+		plan := nw.medium.PlanFrame(at, one[:], size, nw.Engine.Now())
 		if len(plan) == 0 {
 			nw.Data.Lost++
 			if done != nil {

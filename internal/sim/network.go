@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"qolsr/internal/graph"
+	"qolsr/internal/metric"
 	"qolsr/internal/olsr"
 	"qolsr/internal/rng"
 )
@@ -94,6 +95,15 @@ func NewNetwork(phys *graph.Graph, cfg olsr.Config, opts NetworkOptions) (*Netwo
 
 // Medium returns the radio model this network transmits through.
 func (nw *Network) Medium() Medium { return nw.medium }
+
+// Metric returns the QoS metric the network's nodes route with — what
+// their routing-table Values are composed under.
+func (nw *Network) Metric() metric.Metric { return nw.cfg.Metric }
+
+// MeasuredQoS reports whether the nodes sense link quality by measurement
+// instead of the topology oracle — routing-table Values are then in
+// measured-quality units (ETX, delivery product), not oracle weights.
+func (nw *Network) MeasuredQoS() bool { return nw.cfg.MeasuredQoS }
 
 // HopDelayBound returns the medium's per-hop latency bound — what harnesses
 // size packet drain windows with.

@@ -1,0 +1,85 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"qolsr/internal/geom"
+	"qolsr/internal/metric"
+	"qolsr/internal/olsr"
+	"qolsr/internal/sim"
+)
+
+// benchNetwork builds a 50-node unit-disk network and converges it.
+func benchNetwork(b *testing.B, medium sim.Medium) *sim.Network {
+	b.Helper()
+	const n = 50
+	field := geom.Field{Width: 600, Height: 600}
+	rng := rand.New(rand.NewSource(12))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * field.Width, Y: rng.Float64() * field.Height}
+	}
+	g, err := sim.UnitDiskTopology(field, 160, pts, "bandwidth", 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := sim.NewNetwork(g, olsr.DefaultConfig(metric.Bandwidth()), sim.NetworkOptions{Seed: 12, Medium: medium})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw.Start()
+	nw.Run(15 * time.Second)
+	return nw
+}
+
+// benchTraffic drives a 16-flow CBR+video mix for 20 virtual seconds and
+// reports packets per wall-clock second.
+func benchTraffic(b *testing.B, makeMedium func() sim.Medium) {
+	b.ReportAllocs()
+	var packets uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nw := benchNetwork(b, makeMedium())
+		eng := NewEngine(nw, 12)
+		pairs := make([][2]int32, 16)
+		for k := range pairs {
+			pairs[k] = [2]int32{int32(k % 50), int32((k*7 + 13) % 50)}
+		}
+		flows, err := FlowsFromSpecs([]Spec{
+			{Class: "cbr", Count: 8, RateBps: 16384},
+			{Class: "video", Count: 8, RateBps: 16384},
+		}, pairs, nw.Engine.Now())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range flows {
+			if err := eng.Add(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stop := nw.Engine.Now() + 20*time.Second
+		if err := eng.Start(stop); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		nw.Run(stop + time.Second)
+		packets += eng.Counters().Sent
+	}
+	b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkTrafficEngine measures sustained-flow forwarding throughput at
+// 50 nodes: packets driven through the live routing tables per wall-clock
+// second, on the ideal MAC and on the lossy queued radio.
+func BenchmarkTrafficEngine(b *testing.B) {
+	b.Run("ideal", func(b *testing.B) {
+		benchTraffic(b, func() sim.Medium { return sim.NewIdealMedium(0) })
+	})
+	b.Run("lossy", func(b *testing.B) {
+		benchTraffic(b, func() sim.Medium {
+			return sim.NewLossyMedium(sim.LossyConfig{Loss: 0.05, Seed: 12})
+		})
+	})
+}

@@ -1,0 +1,172 @@
+package traffic
+
+import (
+	"math"
+	"time"
+
+	"qolsr/internal/rng"
+)
+
+// Draw kinds separating the independent random streams of one flow. Every
+// draw is a pure function of (engine seed, flow ID, kind, sequence), so a
+// flow's packet schedule never depends on how other flows interleave.
+const (
+	drawPhase uint64 = iota + 1
+	drawArrival
+	drawSize
+	drawOn
+	drawOff
+)
+
+// On-off ("video") class shape: exponential on and off periods of these
+// means, double-rate emission while on — the long-run average offered load
+// equals the flow's configured rate.
+const (
+	videoMeanOn  = time.Second
+	videoMeanOff = time.Second
+	// videoPeriodFloor keeps degenerate zero-length draws from stalling
+	// the burst walk.
+	videoPeriodFloor = time.Millisecond
+	// expCap bounds exponential draws at this many means, so one extreme
+	// tail draw cannot silence a source for a whole run.
+	expCap = 8.0
+)
+
+// source is one flow's arrival process: departure times and packet sizes,
+// both pure functions of the flow's keyed draws.
+type source interface {
+	// first returns the flow's first departure time at or after start.
+	first(start time.Duration) time.Duration
+	// next returns the departure time following the departure at prev of
+	// packet seq-1 (seq counts emitted packets).
+	next(prev time.Duration, seq uint64) time.Duration
+	// size returns the size of packet seq in bytes.
+	size(seq uint64) int
+}
+
+// newSource builds the arrival process of one flow. base is the engine's
+// derived draw key; f.Class must be valid.
+func newSource(base uint64, f Flow) source {
+	interval := byteInterval(f.PacketBytes, f.RateBps)
+	key := rng.Mix(base, uint64(f.ID))
+	switch f.Class {
+	case ClassPoisson:
+		return &poissonSource{key: key, mean: interval, bytes: f.PacketBytes}
+	case ClassVideo:
+		return &videoSource{
+			key:   key,
+			peak:  byteInterval(f.PacketBytes, 2*f.RateBps),
+			bytes: f.PacketBytes,
+		}
+	default: // ClassCBR
+		return &cbrSource{key: key, interval: interval, bytes: f.PacketBytes}
+	}
+}
+
+// byteInterval is the inter-departure time of size-byte packets at rate
+// bytes per second.
+func byteInterval(size int, rate float64) time.Duration {
+	return time.Duration(float64(size) / rate * float64(time.Second))
+}
+
+// expDraw maps a keyed uniform draw onto an exponential of the given mean,
+// capped at expCap means.
+func expDraw(key uint64, mean time.Duration) time.Duration {
+	u := rng.Unit(key)
+	x := -math.Log(1 - u)
+	if x > expCap {
+		x = expCap
+	}
+	return time.Duration(x * float64(mean))
+}
+
+// phase spreads the first departure uniformly over one mean interval, so
+// same-class flows admitted together do not emit in lockstep.
+func phase(key uint64, mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Unit(rng.Mix(key, drawPhase)) * float64(mean))
+}
+
+// cbrSource emits fixed-size packets at a constant interval.
+type cbrSource struct {
+	key      uint64
+	interval time.Duration
+	bytes    int
+}
+
+func (s *cbrSource) first(start time.Duration) time.Duration {
+	return start + phase(s.key, s.interval)
+}
+
+func (s *cbrSource) next(prev time.Duration, _ uint64) time.Duration {
+	return prev + s.interval
+}
+
+func (s *cbrSource) size(uint64) int { return s.bytes }
+
+// poissonSource emits fixed-size packets with exponential inter-arrivals.
+type poissonSource struct {
+	key   uint64
+	mean  time.Duration
+	bytes int
+}
+
+func (s *poissonSource) first(start time.Duration) time.Duration {
+	return start + phase(s.key, s.mean)
+}
+
+func (s *poissonSource) next(prev time.Duration, seq uint64) time.Duration {
+	return prev + expDraw(rng.Mix(s.key, drawArrival, seq), s.mean)
+}
+
+func (s *poissonSource) size(uint64) int { return s.bytes }
+
+// videoSource is the on-off bursty class: during an on period it emits at
+// twice the configured rate; off periods are silent. Period lengths are
+// exponential, keyed by the burst counter, and packet sizes vary uniformly
+// in [½, 1½] of the nominal size.
+type videoSource struct {
+	key   uint64
+	peak  time.Duration
+	bytes int
+
+	onUntil time.Duration
+	burst   uint64
+}
+
+func (s *videoSource) first(start time.Duration) time.Duration {
+	s.onUntil = start + s.period(drawOn, 0, videoMeanOn)
+	return start + phase(s.key, s.peak)
+}
+
+func (s *videoSource) next(prev time.Duration, _ uint64) time.Duration {
+	t := prev + s.peak
+	for t > s.onUntil {
+		// The on period ended before this departure: idle through an
+		// off period, then open the next burst.
+		s.burst++
+		onStart := s.onUntil + s.period(drawOff, s.burst, videoMeanOff)
+		s.onUntil = onStart + s.period(drawOn, s.burst, videoMeanOn)
+		t = onStart
+	}
+	return t
+}
+
+func (s *videoSource) period(kind, burst uint64, mean time.Duration) time.Duration {
+	d := expDraw(rng.Mix(s.key, kind, burst), mean)
+	if d < videoPeriodFloor {
+		d = videoPeriodFloor
+	}
+	return d
+}
+
+func (s *videoSource) size(seq uint64) int {
+	half := s.bytes / 2
+	n := half + int(rng.Unit(rng.Mix(s.key, drawSize, seq))*float64(s.bytes))
+	if n < MinPacketBytes {
+		n = MinPacketBytes
+	}
+	return n
+}

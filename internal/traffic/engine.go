@@ -1,0 +1,258 @@
+package traffic
+
+import (
+	"fmt"
+	"time"
+
+	"qolsr/internal/rng"
+	"qolsr/internal/sim"
+	"qolsr/internal/stats"
+)
+
+// Counters are the engine's cumulative packet totals, cheap to snapshot —
+// harnesses diff them per sampling window.
+type Counters struct {
+	// Sent counts packets handed to the data plane.
+	Sent uint64
+	// Completed counts packets that finished (delivered or dropped).
+	Completed uint64
+	// Delivered counts packets that reached their destination.
+	Delivered uint64
+	// BytesDelivered sums the sizes of delivered packets.
+	BytesDelivered uint64
+}
+
+// accum aggregates one traffic population's measured QoS: packet counts,
+// delivered-delay distribution (streaming quantiles) and inter-packet delay
+// variation.
+type accum struct {
+	sent, completed, delivered uint64
+	bytesSent, bytesDelivered  uint64
+	hops                       stats.Accumulator
+	delay                      stats.Accumulator
+	p50, p95, p99              *stats.Quantile
+	jitter                     stats.Accumulator
+}
+
+func newAccum() accum {
+	return accum{
+		p50: stats.NewQuantile(0.50),
+		p95: stats.NewQuantile(0.95),
+		p99: stats.NewQuantile(0.99),
+	}
+}
+
+// record folds one delivered packet.
+func (a *accum) record(hops int, latency time.Duration) {
+	a.hops.Add(float64(hops))
+	secs := latency.Seconds()
+	a.delay.Add(secs)
+	a.p50.Add(secs)
+	a.p95.Add(secs)
+	a.p99.Add(secs)
+}
+
+// flowState is one flow's live state inside the engine.
+type flowState struct {
+	Flow
+	src      source
+	decision Decision
+	decided  bool
+	seq      uint64 // emitted-packet sequence
+
+	accum
+	lastDelay time.Duration
+	hasLast   bool
+}
+
+// Engine drives sustained flows through a live network: each admitted flow
+// emits packets on its class's arrival process, every packet traverses the
+// routing tables and the radio medium hop by hop (contending for the
+// per-node transmit queues like any other frame), and deliveries feed the
+// per-flow accounting. The engine schedules everything on the network's
+// own event engine; the caller advances virtual time with Network.Run.
+type Engine struct {
+	nw      *sim.Network
+	gate    Gate
+	base    uint64
+	stop    time.Duration
+	started bool
+
+	flows    []*flowState
+	classes  []string
+	classAcc map[string]*accum
+	totalAcc accum
+	counters Counters
+}
+
+// NewEngine builds a traffic engine over the network. seed keys every
+// packet arrival and size draw (domain-separated from the network's other
+// streams).
+func NewEngine(nw *sim.Network, seed int64) *Engine {
+	return &Engine{
+		nw:       nw,
+		gate:     Gate{NW: nw},
+		base:     rng.Mix(uint64(seed), 0x7F10), // domain-separate the flow draws
+		classAcc: make(map[string]*accum),
+		totalAcc: newAccum(),
+	}
+}
+
+// Gate returns the engine's admission controller.
+func (e *Engine) Gate() *Gate { return &e.gate }
+
+// Add registers one flow. All flows must be added before Start; the flow's
+// ID must equal its Add order (it keys the flow's RNG draws).
+func (e *Engine) Add(f Flow) error {
+	if e.started {
+		return fmt.Errorf("traffic: Add after Start")
+	}
+	if err := CheckClass(f.Class); err != nil {
+		return err
+	}
+	if f.ID != len(e.flows) {
+		return fmt.Errorf("traffic: flow ID %d out of order (want %d)", f.ID, len(e.flows))
+	}
+	if f.Src == f.Dst || f.Src < 0 || f.Dst < 0 || int(f.Src) >= e.nw.Phys.N() || int(f.Dst) >= e.nw.Phys.N() {
+		return fmt.Errorf("traffic: flow %d endpoints %d->%d invalid", f.ID, f.Src, f.Dst)
+	}
+	if f.RateBps <= 0 || f.PacketBytes < MinPacketBytes {
+		return fmt.Errorf("traffic: flow %d needs positive rate and packet size >= %d", f.ID, MinPacketBytes)
+	}
+	fs := &flowState{Flow: f, accum: newAccum()}
+	fs.src = newSource(e.base, f)
+	e.flows = append(e.flows, fs)
+	if _, ok := e.classAcc[f.Class]; !ok {
+		e.classes = append(e.classes, f.Class)
+		a := newAccum()
+		e.classAcc[f.Class] = &a
+	}
+	return nil
+}
+
+// FlowsFromSpecs expands a mix of specs into concrete flows over the given
+// endpoint pairs, in spec order: spec i's Count flows take the next Count
+// pairs. It errors when the mix needs more pairs than provided.
+func FlowsFromSpecs(specs []Spec, pairs [][2]int32, defaultStart time.Duration) ([]Flow, error) {
+	var flows []Flow
+	next := 0
+	for _, sp := range specs {
+		sp = sp.WithDefaults()
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		start := sp.Start
+		if start == 0 {
+			start = defaultStart
+		}
+		for k := 0; k < sp.Count; k++ {
+			if next >= len(pairs) {
+				return nil, fmt.Errorf("traffic: mix needs %d endpoint pairs, have %d", next+1, len(pairs))
+			}
+			flows = append(flows, Flow{
+				ID:          len(flows),
+				Class:       sp.Class,
+				Src:         pairs[next][0],
+				Dst:         pairs[next][1],
+				RateBps:     sp.RateBps,
+				PacketBytes: sp.PacketBytes,
+				Start:       start,
+				Req:         sp.QoS,
+			})
+			next++
+		}
+	}
+	return flows, nil
+}
+
+// Start schedules every flow's admission decision at its start time; flows
+// emit no packet after stop. Call once, before advancing the network past
+// the earliest flow start.
+func (e *Engine) Start(stop time.Duration) error {
+	if e.started {
+		return fmt.Errorf("traffic: Start called twice")
+	}
+	e.started = true
+	e.stop = stop
+	for _, fs := range e.flows {
+		fs := fs
+		at := fs.Start
+		if now := e.nw.Engine.Now(); at < now {
+			at = now
+		}
+		e.nw.Engine.At(at, func() { e.admit(fs) })
+	}
+	return nil
+}
+
+// admit runs the admission gate on one flow and, when admitted, opens its
+// packet schedule.
+func (e *Engine) admit(fs *flowState) {
+	fs.decision = e.gate.Decide(fs.Src, fs.Dst, fs.Req)
+	fs.decided = true
+	if !fs.decision.Admitted {
+		return
+	}
+	first := fs.src.first(e.nw.Engine.Now())
+	e.schedule(fs, first)
+}
+
+// schedule books the departure of fs's next packet at the given time.
+func (e *Engine) schedule(fs *flowState, at time.Duration) {
+	if at > e.stop {
+		return
+	}
+	e.nw.Engine.At(at, func() {
+		e.emit(fs)
+		e.schedule(fs, fs.src.next(at, fs.seq))
+	})
+}
+
+// emit sends one packet of fs and books its accounting callbacks.
+func (e *Engine) emit(fs *flowState) {
+	seq := fs.seq
+	fs.seq++
+	size := fs.src.size(seq)
+	cls := e.classAcc[fs.Class]
+
+	fs.sent++
+	fs.bytesSent += uint64(size)
+	cls.sent++
+	cls.bytesSent += uint64(size)
+	e.counters.Sent++
+
+	e.nw.SendDataSized(fs.Src, fs.Dst, size, func(ok bool, hops int, latency time.Duration) {
+		fs.completed++
+		cls.completed++
+		e.counters.Completed++
+		if !ok {
+			return
+		}
+		fs.delivered++
+		fs.bytesDelivered += uint64(size)
+		cls.delivered++
+		cls.bytesDelivered += uint64(size)
+		e.counters.Delivered++
+		e.counters.BytesDelivered += uint64(size)
+		fs.record(hops, latency)
+		cls.record(hops, latency)
+		e.totalAcc.record(hops, latency)
+		if fs.hasLast {
+			diff := latency - fs.lastDelay
+			if diff < 0 {
+				diff = -diff
+			}
+			fs.jitter.Add(diff.Seconds())
+			cls.jitter.Add(diff.Seconds())
+			e.totalAcc.jitter.Add(diff.Seconds())
+		}
+		fs.lastDelay = latency
+		fs.hasLast = true
+	})
+}
+
+// Counters snapshots the engine's cumulative packet totals.
+func (e *Engine) Counters() Counters { return e.counters }
+
+// Flows returns the number of registered flows.
+func (e *Engine) Flows() int { return len(e.flows) }
