@@ -122,6 +122,22 @@
 // (seed, flow, packet-seq), so traffic runs are bit-identical at any
 // worker count.
 //
+// # Real mesh daemon
+//
+// The same protocol engine deploys outside the simulator: internal/node
+// wraps an olsr.Node in a daemon driven by wall-clock timers over a real
+// UDP socket (cmd/qolsr-node is the CLI). Daemons exchange versioned
+// frames carrying the standard HELLO/TC encodings, authenticate senders
+// against a static peer table, and measure per-link delay from echo
+// timestamps piggybacked on every frame — each completed exchange closes a
+// round trip entirely in the sender's own clock, so no clock
+// synchronization is needed. A windowed-minimum filter distils the samples
+// into routing weights, data packets ride the daemons' own routing tables
+// hop by hop, and an HTTP status endpoint reports neighbors, RTTs, the MPR
+// set and the routing table as JSON. The wire codecs are fuzzed against
+// hostile input; see the package documentation of internal/node and the
+// README's "Running a real mesh" section.
+//
 // # Cached routing
 //
 // Protocol nodes follow link-state practice: routes are recomputed on state

@@ -1,0 +1,467 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"qolsr/internal/core"
+	"qolsr/internal/metric"
+	"qolsr/internal/olsr"
+)
+
+// Config parameterises a Daemon.
+type Config struct {
+	// ID is this node's protocol identifier. Required, and must be unique
+	// across the mesh.
+	ID int64
+	// Transport carries the daemon's frames. Required; the daemon owns it
+	// and closes it when Run returns.
+	Transport Transport
+	// Peers is the static peer table (see Peer). Frames from senders not
+	// in it are dropped.
+	Peers []Peer
+	// HelloInterval and TCInterval are the emission periods (defaults:
+	// the olsr RFC-style 2s and 5s; tests shrink them).
+	HelloInterval time.Duration
+	TCInterval    time.Duration
+	// Metric is the QoS metric routing optimises (default metric.Delay(),
+	// the natural domain for measured RTT weights).
+	Metric metric.Metric
+	// Selector computes the advertised neighbor set (default the paper's
+	// core.FNBP).
+	Selector core.Selector
+	// Measured switches link weights from the peer table's declared
+	// values to real round-trip measurement: each link's weight is the
+	// smoothed RTT in milliseconds derived from the frame layer's echo
+	// timestamps — the deployed analogue of the simulator's MeasuredQoS
+	// link sensing.
+	Measured bool
+	// TTL is the initial hop budget of originated data packets
+	// (default 32).
+	TTL uint8
+	// OnData receives data packets addressed to this node. It is called
+	// from the daemon's event loop; handlers must not block.
+	OnData func(src int64, seq uint64, body []byte)
+	// Logf, when set, receives debug-level event lines.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts a daemon's traffic. All fields are cumulative.
+type Stats struct {
+	FramesIn  uint64 `json:"frames_in"`
+	FramesOut uint64 `json:"frames_out"`
+	BytesIn   uint64 `json:"bytes_in"`
+	BytesOut  uint64 `json:"bytes_out"`
+	// DecodeErrors counts frames or payloads rejected by the codecs —
+	// hostile, truncated or foreign input.
+	DecodeErrors uint64 `json:"decode_errors"`
+	// UnknownSender counts well-formed frames from nodes outside the peer
+	// table.
+	UnknownSender  uint64 `json:"unknown_sender"`
+	SendErrors     uint64 `json:"send_errors"`
+	HellosIn       uint64 `json:"hellos_in"`
+	TCsIn          uint64 `json:"tcs_in"`
+	TCsForwarded   uint64 `json:"tcs_forwarded"`
+	DataOriginated uint64 `json:"data_originated"`
+	DataForwarded  uint64 `json:"data_forwarded"`
+	DataDelivered  uint64 `json:"data_delivered"`
+	// DataDropped counts data packets discarded for a dead TTL, a missing
+	// route, or a next hop outside the peer table.
+	DataDropped uint64 `json:"data_dropped"`
+}
+
+// peerState is the daemon's per-peer bookkeeping around the static Peer
+// declaration: the echo stamps the RTT instrument needs, the RTT estimator
+// itself, and liveness.
+type peerState struct {
+	id     int64
+	addr   string
+	weight float64 // declared oracle weight
+
+	rtt rttEstimator
+	// linkW is the weight most recently fed to UpdateLink in measured
+	// mode, the anchor for the hysteresis band; 0 before the first.
+	linkW float64
+	// lastRxTx is the TxTime of the newest frame received from the peer
+	// (their clock, echoed back verbatim); lastRxAt is our clock at its
+	// arrival, so the echo can report how long we held the stamp.
+	lastRxTx uint64
+	lastRxAt uint64
+	// heard is our clock at the newest frame from the peer, 0 if never.
+	heard time.Duration
+}
+
+type dataSend struct {
+	dst  int64
+	body []byte
+	res  chan error
+}
+
+// Daemon runs one olsr.Node over a Transport in wall-clock time. All
+// protocol state is owned by the Run loop's goroutine; Status and Send
+// communicate with it through channels, so a Daemon is safe for concurrent
+// use around a single Run.
+type Daemon struct {
+	cfg   Config
+	node  *olsr.Node
+	tr    Transport
+	peers map[int64]*peerState
+	// order is the sorted peer-ID broadcast order: emission must be a
+	// pure function of configuration, not of map iteration.
+	order []int64
+
+	start   time.Time
+	dataSeq uint64
+	stats   Stats
+
+	statusCh chan chan StatusReport
+	sendCh   chan dataSend
+	done     chan struct{}
+}
+
+// New builds a Daemon. The underlying olsr.Node runs with external link
+// sensing: the daemon owns the link table and feeds it measured RTT weights
+// or the peer table's declared ones.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("node: config needs a transport")
+	}
+	if cfg.Metric == nil {
+		cfg.Metric = metric.Delay()
+	}
+	ocfg := olsr.DefaultConfig(cfg.Metric)
+	if cfg.HelloInterval > 0 {
+		ocfg.HelloInterval = cfg.HelloInterval
+		ocfg.NeighborHoldTime = 3 * cfg.HelloInterval
+	}
+	if cfg.TCInterval > 0 {
+		ocfg.TCInterval = cfg.TCInterval
+		ocfg.TopologyHoldTime = 3 * cfg.TCInterval
+	}
+	cfg.HelloInterval = ocfg.HelloInterval
+	cfg.TCInterval = ocfg.TCInterval
+	if cfg.Selector != nil {
+		ocfg.Selector = cfg.Selector
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = 32
+	}
+	ocfg.ExternalLinkSensing = true
+	n, err := olsr.NewNode(cfg.ID, ocfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:      cfg,
+		node:     n,
+		tr:       cfg.Transport,
+		peers:    make(map[int64]*peerState, len(cfg.Peers)),
+		start:    time.Now(),
+		statusCh: make(chan chan StatusReport),
+		sendCh:   make(chan dataSend),
+		done:     make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		if p.ID == cfg.ID {
+			return nil, fmt.Errorf("node: peer table lists our own id %d", p.ID)
+		}
+		if _, dup := d.peers[p.ID]; dup {
+			return nil, fmt.Errorf("node: duplicate peer id %d", p.ID)
+		}
+		w := p.Weight
+		if w <= 0 {
+			w = 1
+		}
+		d.peers[p.ID] = &peerState{id: p.ID, addr: p.Addr, weight: w}
+		d.order = append(d.order, p.ID)
+	}
+	sort.Slice(d.order, func(i, j int) bool { return d.order[i] < d.order[j] })
+	return d, nil
+}
+
+// now is the daemon's protocol clock: monotonic elapsed time since New, the
+// wall-clock counterpart of the simulator's virtual timestamps.
+func (d *Daemon) now() time.Duration { return time.Since(d.start) }
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// Run drives the daemon until ctx is cancelled or the transport closes. It
+// owns all protocol state; call it exactly once. The transport is closed on
+// the way out.
+func (d *Daemon) Run(ctx context.Context) error {
+	defer close(d.done)
+	defer d.tr.Close()
+	helloT := time.NewTicker(d.cfg.HelloInterval)
+	defer helloT.Stop()
+	tcT := time.NewTicker(d.cfg.TCInterval)
+	defer tcT.Stop()
+	// An immediate HELLO bootstraps the echo exchange a full interval
+	// early; cold-start convergence is bounded by round trips, not timers.
+	d.emitHello()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-helloT.C:
+			d.emitHello()
+		case <-tcT.C:
+			d.emitTC()
+		case in, ok := <-d.tr.Inbound():
+			if !ok {
+				return errors.New("node: transport closed")
+			}
+			d.handleFrame(in)
+		case req := <-d.statusCh:
+			req <- d.buildStatus()
+		case s := <-d.sendCh:
+			s.res <- d.originate(s.dst, s.body)
+		}
+	}
+}
+
+// emitHello broadcasts the node's periodic HELLO to every configured peer.
+func (d *Daemon) emitHello() {
+	h := d.node.GenerateHello(d.now())
+	d.broadcast(KindControl, olsr.MarshalHello(h))
+}
+
+// emitTC floods the node's periodic TC, if it has an advertised set.
+func (d *Daemon) emitTC() {
+	t := d.node.GenerateTC(d.now())
+	if t == nil {
+		return
+	}
+	d.broadcast(KindControl, olsr.MarshalTC(t))
+}
+
+// broadcast sends one payload to every configured peer, each in its own
+// frame (the echo stamps are per-destination).
+func (d *Daemon) broadcast(kind FrameKind, payload []byte) {
+	for _, id := range d.order {
+		d.sendTo(d.peers[id], kind, payload)
+	}
+}
+
+// sendTo frames and transmits one payload to one peer, stamping the RTT
+// echo triplet: our clock now, the peer's newest stamp, and how long we
+// have held it.
+func (d *Daemon) sendTo(p *peerState, kind FrameKind, payload []byte) {
+	nowN := uint64(d.now())
+	f := Frame{Kind: kind, Sender: d.cfg.ID, TxTime: nowN, Payload: payload}
+	if p.lastRxTx != 0 {
+		f.EchoTime = p.lastRxTx
+		f.EchoDelay = nowN - p.lastRxAt
+	}
+	buf, err := MarshalFrame(&f)
+	if err != nil {
+		d.stats.SendErrors++
+		return
+	}
+	if err := d.tr.Send(p.addr, buf); err != nil {
+		d.stats.SendErrors++
+		d.logf("node %d: send to %d (%s): %v", d.cfg.ID, p.id, p.addr, err)
+		return
+	}
+	d.stats.FramesOut++
+	d.stats.BytesOut += uint64(len(buf))
+}
+
+// handleFrame ingests one datagram: authenticate the sender against the
+// peer table, harvest the RTT echo, then dispatch by kind.
+func (d *Daemon) handleFrame(in Inbound) {
+	d.stats.FramesIn++
+	d.stats.BytesIn += uint64(len(in.Data))
+	f, err := UnmarshalFrame(in.Data)
+	if err != nil {
+		d.stats.DecodeErrors++
+		return
+	}
+	p := d.peers[f.Sender]
+	if p == nil {
+		// Not in our peer table: out of radio range, or noise. Either
+		// way it contributes no protocol state.
+		d.stats.UnknownSender++
+		return
+	}
+	// Timestamp-sensitive state uses the transport's arrival stamp, not
+	// the processing instant: time the frame waited in the receive queue
+	// is the host's, and must be charged neither to the round trip we
+	// close here nor to the echo we will emit.
+	at := d.now()
+	if !in.At.IsZero() {
+		if e := in.At.Sub(d.start); e >= 0 && e < at {
+			at = e
+		}
+	}
+	if f.TxTime != 0 {
+		p.lastRxTx = f.TxTime
+		p.lastRxAt = uint64(at)
+	}
+	p.heard = at
+	if f.EchoTime != 0 {
+		// The peer echoed one of our stamps: close the round trip in our
+		// own clock, net of the time the peer held it.
+		p.rtt.sample(time.Duration(int64(at) - int64(f.EchoTime) - int64(f.EchoDelay)))
+	}
+	switch f.Kind {
+	case KindControl:
+		d.handleControl(p, f.Payload)
+	case KindData:
+		d.handleData(f.Payload)
+	}
+}
+
+// handleControl dispatches one olsr wire message from an authenticated
+// peer.
+func (d *Daemon) handleControl(p *peerState, payload []byte) {
+	t, err := olsr.PeekType(payload)
+	if err != nil {
+		d.stats.DecodeErrors++
+		return
+	}
+	now := d.now()
+	switch t {
+	case olsr.MsgHello:
+		h, err := olsr.UnmarshalHello(payload)
+		if err != nil || h.Origin != p.id {
+			// A HELLO whose origin disagrees with the frame sender is
+			// spoofed or relayed; HELLOs are strictly one-hop.
+			d.stats.DecodeErrors++
+			return
+		}
+		d.stats.HellosIn++
+		d.senseLink(p, now)
+		d.node.HandleHello(h, now)
+	case olsr.MsgTC:
+		tc, err := olsr.UnmarshalTC(payload)
+		if err != nil {
+			d.stats.DecodeErrors++
+			return
+		}
+		d.stats.TCsIn++
+		if d.node.HandleTC(tc, p.id, now) {
+			// RFC 3626 forwarding: the sender selected us as MPR —
+			// re-flood the TC to our whole neighborhood. Duplicate
+			// suppression in HandleTC bounds the storm.
+			d.stats.TCsForwarded++
+			d.broadcast(KindControl, payload)
+		}
+	}
+}
+
+// senseLink refreshes this node's link to the peer on HELLO receipt: the
+// daemon is the link-sensing layer the simulator's oracle used to be. In
+// measured mode the weight is the smoothed round-trip time in milliseconds;
+// until a first round trip completes the link stays unproven and forms no
+// routing edge (measurement-enforced bidirectionality). Oracle mode trusts
+// the peer table's declared weight, with the HELLO as the liveness proof.
+func (d *Daemon) senseLink(p *peerState, now time.Duration) {
+	w := p.weight
+	if d.cfg.Measured {
+		var ok bool
+		if w, ok = p.rtt.weight(); !ok {
+			return
+		}
+		// Hysteresis: hold the link at its standing weight until the
+		// measurement moves by more than a quarter — the refresh then
+		// only extends the validity deadline, leaving the routing caches
+		// (and the mesh's route choices) undisturbed by residual noise.
+		if p.linkW > 0 && math.Abs(w-p.linkW) < p.linkW/4 {
+			w = p.linkW
+		}
+		p.linkW = w
+	}
+	d.node.UpdateLink(p.id, w, now)
+}
+
+// handleData delivers or forwards one data packet through the node's own
+// routing table.
+func (d *Daemon) handleData(payload []byte) {
+	pkt, err := UnmarshalData(payload)
+	if err != nil {
+		d.stats.DecodeErrors++
+		return
+	}
+	if pkt.Dst == d.cfg.ID {
+		d.stats.DataDelivered++
+		if d.cfg.OnData != nil {
+			d.cfg.OnData(pkt.Src, pkt.Seq, pkt.Body)
+		}
+		return
+	}
+	if pkt.TTL == 0 {
+		d.stats.DataDropped++
+		return
+	}
+	pkt.TTL--
+	if err := d.routeData(pkt); err != nil {
+		d.stats.DataDropped++
+		d.logf("node %d: drop data %d->%d: %v", d.cfg.ID, pkt.Src, pkt.Dst, err)
+		return
+	}
+	d.stats.DataForwarded++
+}
+
+// routeData looks the packet's destination up in the routing table and
+// transmits it to the next hop.
+func (d *Daemon) routeData(pkt *DataPacket) error {
+	routes, err := d.node.Routes(d.now())
+	if err != nil {
+		return err
+	}
+	r, ok := routes.Lookup(pkt.Dst)
+	if !ok {
+		return fmt.Errorf("no route to %d", pkt.Dst)
+	}
+	next := d.peers[r.NextHop]
+	if next == nil {
+		return fmt.Errorf("next hop %d not a peer", r.NextHop)
+	}
+	buf, err := MarshalData(pkt)
+	if err != nil {
+		return err
+	}
+	d.sendTo(next, KindData, buf)
+	return nil
+}
+
+// originate injects a locally-sourced data packet.
+func (d *Daemon) originate(dst int64, body []byte) error {
+	pkt := &DataPacket{
+		Dst: dst, Src: d.cfg.ID,
+		Seq: d.dataSeq, TTL: d.cfg.TTL,
+		Body: body,
+	}
+	d.dataSeq++
+	if err := d.routeData(pkt); err != nil {
+		return err
+	}
+	d.stats.DataOriginated++
+	return nil
+}
+
+// Send originates one data packet toward dst, routed hop by hop through the
+// daemons' tables. It blocks until the run loop accepts it and returns an
+// error when no usable route exists. Valid only while Run is active.
+func (d *Daemon) Send(dst int64, body []byte) error {
+	req := dataSend{dst: dst, body: body, res: make(chan error, 1)}
+	select {
+	case d.sendCh <- req:
+		select {
+		case err := <-req.res:
+			return err
+		case <-d.done:
+			return errors.New("node: daemon stopped")
+		}
+	case <-d.done:
+		return errors.New("node: daemon stopped")
+	}
+}

@@ -1,0 +1,331 @@
+package node
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"qolsr/internal/metric"
+	"qolsr/internal/olsr"
+)
+
+// mesh spins one daemon per topology entry over a shared fabric and tears
+// everything down with the test.
+type mesh struct {
+	daemons map[int64]*Daemon
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// delivery is one data packet that reached its destination.
+type delivery struct {
+	at, src int64
+	seq     uint64
+	body    string
+}
+
+// startMesh launches daemons over mn with the given adjacency (ids must be
+// symmetric: if a lists b, b must list a for links to form). Delivered data
+// packets go to sink when non-nil.
+func startMesh(t *testing.T, mn *MemNetwork, adj map[int64][]int64, measured bool, sink chan delivery) *mesh {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &mesh{daemons: make(map[int64]*Daemon), cancel: cancel}
+	addr := func(id int64) string { return fmt.Sprintf("n%d", id) }
+	for id, peers := range adj {
+		tr, err := mn.Listen(addr(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ps []Peer
+		for _, p := range peers {
+			ps = append(ps, Peer{ID: p, Addr: addr(p)})
+		}
+		id := id
+		d, err := New(Config{
+			ID:            id,
+			Transport:     tr,
+			Peers:         ps,
+			HelloInterval: 50 * time.Millisecond,
+			TCInterval:    120 * time.Millisecond,
+			Measured:      measured,
+			OnData: func(src int64, seq uint64, body []byte) {
+				if sink != nil {
+					sink <- delivery{at: id, src: src, seq: seq, body: string(body)}
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.daemons[id] = d
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			d.Run(ctx)
+		}()
+	}
+	t.Cleanup(m.stop)
+	return m
+}
+
+func (m *mesh) stop() {
+	m.cancel()
+	m.wg.Wait()
+}
+
+// waitConverged polls until every daemon has a route to every other, or the
+// deadline passes.
+func (m *mesh) waitConverged(t *testing.T, deadline time.Duration) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		missing := 0
+		for id, d := range m.daemons {
+			st, err := d.Status()
+			if err != nil {
+				t.Fatal(err)
+			}
+			have := make(map[int64]bool, len(st.Routes))
+			for _, r := range st.Routes {
+				have[r.Dst] = true
+			}
+			for other := range m.daemons {
+				if other != id && !have[other] {
+					missing++
+				}
+			}
+		}
+		if missing == 0 {
+			return
+		}
+		if time.Now().After(end) {
+			t.Fatalf("not converged after %v: %d missing routes", deadline, missing)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// line returns the adjacency of a path graph 1-2-...-n.
+func line(n int64) map[int64][]int64 {
+	adj := make(map[int64][]int64)
+	for i := int64(1); i <= n; i++ {
+		if i > 1 {
+			adj[i] = append(adj[i], i-1)
+		}
+		if i < n {
+			adj[i] = append(adj[i], i+1)
+		}
+	}
+	return adj
+}
+
+// TestDaemonLineConvergesAndRoutes converges a 1-2-3 line in measured mode
+// and routes a packet end to end: 1 has no link to 3, so delivery proves
+// multi-hop forwarding through 2's table.
+func TestDaemonLineConvergesAndRoutes(t *testing.T) {
+	sink := make(chan delivery, 16)
+	m := startMesh(t, NewMemNetwork(), line(3), true, sink)
+	m.waitConverged(t, 10*time.Second)
+
+	st, err := m.daemons[1].Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "measured" || st.Metric != "delay" {
+		t.Fatalf("mode=%q metric=%q, want measured/delay", st.Mode, st.Metric)
+	}
+	// The measured link must carry an RTT-derived weight.
+	var linked bool
+	for _, nb := range st.Neighbors {
+		if nb.ID == 2 {
+			linked = nb.Linked
+			if nb.Weight <= 0 {
+				t.Fatalf("link 1-2 weight = %v, want > 0", nb.Weight)
+			}
+			if nb.RTTms <= 0 {
+				t.Fatalf("link 1-2 rtt = %v, want > 0", nb.RTTms)
+			}
+		}
+	}
+	if !linked {
+		t.Fatal("node 1 never proved its link to 2")
+	}
+	// Route 1->3 must go through 2.
+	var via int64
+	for _, r := range st.Routes {
+		if r.Dst == 3 {
+			via = r.NextHop
+			if r.Hops != 2 {
+				t.Fatalf("route 1->3 hops = %d, want 2", r.Hops)
+			}
+		}
+	}
+	if via != 2 {
+		t.Fatalf("route 1->3 next hop = %d, want 2", via)
+	}
+
+	if err := m.daemons[1].Send(3, []byte("end to end")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-sink:
+		want := delivery{at: 3, src: 1, seq: 0, body: "end to end"}
+		if got != want {
+			t.Fatalf("delivered %+v, want %+v", got, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("packet never delivered")
+	}
+	// The middle node's counters must show the forward.
+	st2, err := m.daemons[2].Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Stats.DataForwarded == 0 {
+		t.Fatal("node 2 forwarded nothing; packet did not ride the tables")
+	}
+}
+
+// TestDaemonOracleWeights checks that declared peer weights drive routing
+// when measurement is off: with the direct 1-3 link weighing 10 and the
+// 1-2, 2-3 links weighing 1 each, delay routing must prefer the two-hop
+// path.
+func TestDaemonOracleWeights(t *testing.T) {
+	mn := NewMemNetwork()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	defer wg.Wait() // LIFO: cancel below runs first, so the daemons exit
+	defer cancel()
+
+	mk := func(id int64, peers []Peer) *Daemon {
+		tr, err := mn.Listen(fmt.Sprintf("n%d", id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := New(Config{
+			ID: id, Transport: tr, Peers: peers,
+			HelloInterval: 50 * time.Millisecond,
+			TCInterval:    120 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); d.Run(ctx) }()
+		return d
+	}
+	d1 := mk(1, []Peer{{ID: 2, Addr: "n2"}, {ID: 3, Addr: "n3", Weight: 10}})
+	mk(2, []Peer{{ID: 1, Addr: "n1"}, {ID: 3, Addr: "n3"}})
+	mk(3, []Peer{{ID: 1, Addr: "n1", Weight: 10}, {ID: 2, Addr: "n2"}})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := d1.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r *RouteStatus
+		for i := range st.Routes {
+			if st.Routes[i].Dst == 3 {
+				r = &st.Routes[i]
+			}
+		}
+		if r != nil && r.NextHop == 2 && r.Value == 2 && r.Hops == 2 {
+			return // the cheap two-hop path won
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("route 1->3 never settled on the cheap path: %+v", r)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDaemonIgnoresHostileInput feeds a daemon garbage, foreign-sender
+// frames and spoofed HELLOs; it must count and drop them all without
+// touching protocol state.
+func TestDaemonIgnoresHostileInput(t *testing.T) {
+	mn := NewMemNetwork()
+	m := startMesh(t, mn, map[int64][]int64{1: {2}, 2: {1}}, false, nil)
+	attacker, err := mn.Listen("attacker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw garbage.
+	attacker.Send("n1", []byte("not a frame at all"))
+	// A valid frame from an unknown sender.
+	buf, err := MarshalFrame(&Frame{Kind: KindControl, Sender: 666, TxTime: 1, Payload: []byte{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker.Send("n1", buf)
+	// A spoofed HELLO: frame sender 2 (a real peer), HELLO origin 666.
+	spoof, err := MarshalFrame(&Frame{Kind: KindControl, Sender: 2, TxTime: 1,
+		Payload: olsr.MarshalHello(&olsr.Hello{Origin: 666})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker.Send("n1", spoof)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := m.daemons[1].Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Stats.DecodeErrors >= 2 && st.Stats.UnknownSender >= 1 {
+			for _, nb := range st.Neighbors {
+				if nb.ID == 666 {
+					t.Fatal("attacker appeared in the neighbor table")
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hostile input not accounted: %+v", st.Stats)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestStatusEndpoint serves the HTTP status handler and decodes the JSON.
+func TestStatusEndpoint(t *testing.T) {
+	m := startMesh(t, NewMemNetwork(), line(2), true, nil)
+	m.waitConverged(t, 10*time.Second)
+	srv := httptest.NewServer(m.daemons[1].StatusHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatusReport
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != 1 || len(st.Routes) != 1 || st.Routes[0].Dst != 2 {
+		t.Fatalf("unexpected status over HTTP: %+v", st)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{ID: 1}); err == nil {
+		t.Fatal("accepted nil transport")
+	}
+	mn := NewMemNetwork()
+	tr, _ := mn.Listen("a")
+	if _, err := New(Config{ID: 1, Transport: tr, Peers: []Peer{{ID: 1, Addr: "a"}}}); err == nil {
+		t.Fatal("accepted self in peer table")
+	}
+	if _, err := New(Config{ID: 1, Transport: tr,
+		Peers: []Peer{{ID: 2, Addr: "b"}, {ID: 2, Addr: "c"}}}); err == nil {
+		t.Fatal("accepted duplicate peer id")
+	}
+	if _, err := New(Config{ID: 1, Transport: tr, Metric: metric.Delay()}); err != nil {
+		t.Fatalf("rejected minimal valid config: %v", err)
+	}
+}

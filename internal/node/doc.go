@@ -1,0 +1,38 @@
+// Package node runs the OLSR/QOLSR protocol machinery of internal/olsr as a
+// deployable daemon over real transports: the step from reproduction to
+// system.
+//
+// The simulator drives olsr.Node with virtual timestamps; a Daemon drives the
+// very same state machine with wall-clock elapsed time — HELLO and TC
+// emission on real timers, soft-state expiry from the monotonic clock, frames
+// crossing a Transport (UDP sockets in deployment, an in-memory fabric in
+// tests) instead of a simulated radio. The protocol core is untouched: one
+// implementation, two clocks.
+//
+// The pieces:
+//
+//   - wire.go — the versioned frame layer. Every datagram is a Frame: magic,
+//     version, kind (control or data), sender identifier, and the echo
+//     timestamp triplet (TxTime/EchoTime/EchoDelay) that lets each link end
+//     measure real round-trip time with no clock synchronisation. Control
+//     frames carry the olsr HELLO/TC wire encodings unchanged; data frames
+//     carry routable DataPackets. Decoding is hardened against hostile
+//     input: bad magic, foreign versions, truncations and length mismatches
+//     are errors, never panics.
+//   - transport.go, memnet.go — the Transport interface with the UDP
+//     implementation and the in-memory MemNetwork used by tests (per-sender
+//     FIFO delivery, optional loss injection).
+//   - daemon.go, peers.go, rtt.go — the Daemon event loop: a static peer
+//     table (node ID → address) standing in for radio range, per-peer
+//     smoothed RTT estimation from the frame echoes, and link sensing that
+//     feeds olsr.Node.UpdateLink with either measured RTT delay weights
+//     (Config.Measured) or operator-declared oracle weights. Data packets
+//     are forwarded hop by hop through the daemon's own routing table.
+//   - status.go — an introspection snapshot (neighbors, measured RTTs, MPR
+//     set, selectors, routing table, traffic counters) served as JSON over a
+//     loopback HTTP endpoint.
+//
+// cmd/qolsr-node wraps a Daemon in a CLI; the integration test in this
+// package converges a 20-daemon mesh on 127.0.0.1 UDP ports and routes live
+// data through it.
+package node

@@ -1,0 +1,73 @@
+package node
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Peer declares one configured neighbor: the peer table is the daemon's
+// stand-in for radio range. Only frames whose header names a configured peer
+// are processed — everything else is treated as out-of-range noise — and
+// control broadcasts go to every configured peer.
+type Peer struct {
+	// ID is the peer's protocol identifier.
+	ID int64 `json:"id"`
+	// Addr is where the peer's transport listens ("host:port" for UDP).
+	Addr string `json:"addr"`
+	// Weight is the link's oracle QoS weight, used when the daemon runs
+	// with operator-declared weights instead of measured RTT. Zero means
+	// the default of 1.
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// ParsePeerList parses the CLI peer syntax: comma-separated
+// "id@host:port" entries with an optional "#weight" suffix, e.g.
+//
+//	2@127.0.0.1:9002,3@127.0.0.1:9003#2.5
+func ParsePeerList(s string) ([]Peer, error) {
+	var peers []Peer
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, rest, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, fmt.Errorf("node: peer %q: want id@host:port", entry)
+		}
+		pid, err := strconv.ParseInt(id, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("node: peer %q: bad id: %w", entry, err)
+		}
+		p := Peer{ID: pid}
+		addr, w, hasW := strings.Cut(rest, "#")
+		p.Addr = addr
+		if hasW {
+			if p.Weight, err = strconv.ParseFloat(w, 64); err != nil {
+				return nil, fmt.Errorf("node: peer %q: bad weight: %w", entry, err)
+			}
+		}
+		if p.Addr == "" {
+			return nil, fmt.Errorf("node: peer %q: empty address", entry)
+		}
+		peers = append(peers, p)
+	}
+	return peers, nil
+}
+
+// ReadPeersFile loads a JSON peer table: an array of {"id", "addr",
+// "weight"} objects.
+func ReadPeersFile(path string) ([]Peer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var peers []Peer
+	if err := json.Unmarshal(data, &peers); err != nil {
+		return nil, fmt.Errorf("node: peers file %s: %w", path, err)
+	}
+	return peers, nil
+}

@@ -1,0 +1,101 @@
+package node
+
+import (
+	"math"
+	"time"
+)
+
+// rttEstimator turns per-peer round-trip samples into a link delay
+// estimate. Samples arrive from the frame layer's echo triplet, so every
+// received frame that completes a round trip contributes one.
+//
+// Two filters run side by side:
+//
+//   - an RFC 6298-style exponentially weighted mean (gain 1/8), reported in
+//     status output as the link's current RTT;
+//   - a windowed minimum, which is what the routing weight derives from.
+//     Host scheduling and queueing only ever add latency to a sample, never
+//     subtract, so the minimum over a short window isolates the link's
+//     propagation floor from load noise — feeding the raw mean to the
+//     routing layer would let a busy CPU masquerade as a degraded link and
+//     flap routes (the BBR argument, applied to neighbor selection).
+type rttEstimator struct {
+	srtt    float64 // smoothed RTT, nanoseconds
+	samples uint64
+
+	// window is a ring of recent samples for the minimum filter.
+	window [rttWindow]float64
+	pos    int
+	filled int
+}
+
+// rttWindow is the minimum-filter span in samples; at one sample per
+// HELLO interval this covers the last ~window intervals.
+const rttWindow = 16
+
+// maxSaneRTT discards samples a mesh link cannot plausibly produce —
+// defensive against a peer echoing garbage stamps.
+const maxSaneRTT = 10 * time.Second
+
+func (e *rttEstimator) sample(rtt time.Duration) {
+	if rtt < 0 || rtt > maxSaneRTT {
+		return
+	}
+	v := float64(rtt)
+	if e.samples == 0 {
+		e.srtt = v
+	} else {
+		e.srtt += (v - e.srtt) / 8
+	}
+	e.samples++
+	e.window[e.pos] = v
+	e.pos = (e.pos + 1) % rttWindow
+	if e.filled < rttWindow {
+		e.filled++
+	}
+}
+
+// smoothed returns the mean-filtered estimate, false before the first
+// sample.
+func (e *rttEstimator) smoothed() (time.Duration, bool) {
+	if e.samples == 0 {
+		return 0, false
+	}
+	return time.Duration(e.srtt), true
+}
+
+// minRTT returns the windowed minimum, false before the first sample.
+func (e *rttEstimator) minRTT() (time.Duration, bool) {
+	if e.filled == 0 {
+		return 0, false
+	}
+	min := e.window[0]
+	for _, v := range e.window[1:e.filled] {
+		if v < min {
+			min = v
+		}
+	}
+	return time.Duration(min), true
+}
+
+// weightQuantum is the granularity measured delay weights snap to
+// (1/32 ms). Sub-quantum wobble must not reach UpdateLink: every distinct
+// weight bumps the node's topology version and forces a routing rebuild,
+// so a link's weight should move only when the link itself did.
+const weightQuantum = 1.0 / 32
+
+// weight returns the link's delay weight — windowed-minimum RTT in
+// milliseconds, quantised, floored at one quantum so a live link never
+// weighs zero — and false before any round trip completed.
+func (e *rttEstimator) weight() (float64, bool) {
+	min, ok := e.minRTT()
+	if !ok {
+		return 0, false
+	}
+	ms := float64(min) / float64(time.Millisecond)
+	q := math.Round(ms/weightQuantum) * weightQuantum
+	if q < weightQuantum {
+		q = weightQuantum
+	}
+	return q, true
+}

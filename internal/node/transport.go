@@ -1,0 +1,131 @@
+package node
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Inbound is one received datagram: the raw bytes, the source address they
+// arrived from, and the arrival instant. Frames authenticate their sender by
+// the header's node identifier, not by address — the address is
+// informational. At is stamped by the transport the moment the datagram
+// leaves the wire, before it waits in the receive channel: round-trip
+// measurement must not charge the link for time the receiver's event loop
+// spent busy.
+type Inbound struct {
+	From string
+	Data []byte
+	At   time.Time
+}
+
+// Transport moves datagrams between daemons. Implementations deliver
+// best-effort (sends to unreachable or unknown addresses may vanish
+// silently, like UDP) and surface received datagrams on a channel the
+// daemon's event loop selects on. The channel closes when the transport
+// closes.
+type Transport interface {
+	// Send transmits one datagram to the given address.
+	Send(addr string, frame []byte) error
+	// Inbound returns the receive channel. It is closed on Close.
+	Inbound() <-chan Inbound
+	// LocalAddr returns the address peers should send to.
+	LocalAddr() string
+	// Close releases the transport and closes the inbound channel.
+	Close() error
+}
+
+// inboundBuffer is the receive-channel depth: past it, like any radio whose
+// listener has fallen behind, datagrams drop.
+const inboundBuffer = 1024
+
+// UDPTransport is the real-socket Transport: one bound UDP socket, a reader
+// goroutine feeding the inbound channel, and a cache of resolved peer
+// addresses.
+type UDPTransport struct {
+	conn *net.UDPConn
+	in   chan Inbound
+
+	drops atomic.Uint64
+
+	mu       sync.Mutex
+	resolved map[string]*net.UDPAddr
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// ListenUDP binds a UDP socket on addr (e.g. "127.0.0.1:0" for an ephemeral
+// loopback port) and starts receiving.
+func ListenUDP(addr string) (*UDPTransport, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("node: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("node: listen %q: %w", addr, err)
+	}
+	t := &UDPTransport{
+		conn:     conn,
+		in:       make(chan Inbound, inboundBuffer),
+		resolved: make(map[string]*net.UDPAddr),
+	}
+	go t.readLoop()
+	return t, nil
+}
+
+func (t *UDPTransport) readLoop() {
+	defer close(t.in)
+	buf := make([]byte, MaxPayload+frameHeaderLen+1)
+	for {
+		n, from, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			// The socket closed (or broke): end the stream.
+			return
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		select {
+		case t.in <- Inbound{From: from.String(), Data: data, At: time.Now()}:
+		default:
+			t.drops.Add(1)
+		}
+	}
+}
+
+// Send implements Transport.
+func (t *UDPTransport) Send(addr string, frame []byte) error {
+	t.mu.Lock()
+	ua := t.resolved[addr]
+	t.mu.Unlock()
+	if ua == nil {
+		var err error
+		if ua, err = net.ResolveUDPAddr("udp", addr); err != nil {
+			return fmt.Errorf("node: resolve %q: %w", addr, err)
+		}
+		t.mu.Lock()
+		t.resolved[addr] = ua
+		t.mu.Unlock()
+	}
+	_, err := t.conn.WriteToUDP(frame, ua)
+	return err
+}
+
+// Inbound implements Transport.
+func (t *UDPTransport) Inbound() <-chan Inbound { return t.in }
+
+// LocalAddr implements Transport. After binding port 0 it reports the
+// kernel-assigned port.
+func (t *UDPTransport) LocalAddr() string { return t.conn.LocalAddr().String() }
+
+// Drops reports datagrams discarded because the inbound channel was full.
+func (t *UDPTransport) Drops() uint64 { return t.drops.Load() }
+
+// Close implements Transport.
+func (t *UDPTransport) Close() error {
+	t.closeOnce.Do(func() { t.closeErr = t.conn.Close() })
+	return t.closeErr
+}

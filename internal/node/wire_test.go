@@ -1,0 +1,134 @@
+package node
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := &Frame{
+		Kind:      KindControl,
+		Sender:    -42,
+		TxTime:    123456789,
+		EchoTime:  987654321,
+		EchoDelay: 555,
+		Payload:   []byte("hello payload"),
+	}
+	buf, err := MarshalFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != f.Kind || got.Sender != f.Sender || got.TxTime != f.TxTime ||
+		got.EchoTime != f.EchoTime || got.EchoDelay != f.EchoDelay ||
+		!bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, f)
+	}
+}
+
+func TestFrameRoundTripEmptyPayload(t *testing.T) {
+	buf, err := MarshalFrame(&Frame{Kind: KindData, Sender: 7, TxTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != 0 {
+		t.Fatalf("payload = %q, want empty", got.Payload)
+	}
+}
+
+func TestFrameRejectsBadInput(t *testing.T) {
+	good, err := MarshalFrame(&Frame{Kind: KindControl, Sender: 1, TxTime: 1, Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		want string
+	}{
+		{"empty", nil, "too short"},
+		{"truncated header", good[:frameHeaderLen-1], "too short"},
+		{"bad magic", append([]byte("NOPE"), good[4:]...), "bad frame magic"},
+		{"version mismatch", func() []byte {
+			b := bytes.Clone(good)
+			b[4] = FrameVersion + 1
+			return b
+		}(), "unsupported frame version"},
+		{"unknown kind", func() []byte {
+			b := bytes.Clone(good)
+			b[5] = 99
+			return b
+		}(), "unknown frame kind"},
+		{"truncated payload", good[:len(good)-1], "length mismatch"},
+		{"trailing garbage", append(bytes.Clone(good), 0xff), "length mismatch"},
+		{"oversize claim", func() []byte {
+			b := bytes.Clone(good)
+			b[38], b[39] = 0xff, 0xff // claims 65535 > MaxPayload
+			return b
+		}(), "payload too large"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := UnmarshalFrame(tc.buf)
+			if err == nil {
+				t.Fatal("decode accepted malformed frame")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMarshalFrameRejectsOversizePayload(t *testing.T) {
+	_, err := MarshalFrame(&Frame{Kind: KindControl, Payload: make([]byte, MaxPayload+1)})
+	if err == nil {
+		t.Fatal("marshal accepted oversize payload")
+	}
+	if _, err := MarshalFrame(&Frame{Kind: 0}); err == nil {
+		t.Fatal("marshal accepted zero kind")
+	}
+}
+
+func TestDataPacketRoundTrip(t *testing.T) {
+	p := &DataPacket{Dst: 9, Src: -3, Seq: 1 << 40, TTL: 17, Body: []byte("data body")}
+	buf, err := MarshalData(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalData(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dst != p.Dst || got.Src != p.Src || got.Seq != p.Seq || got.TTL != p.TTL ||
+		!bytes.Equal(got.Body, p.Body) {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, p)
+	}
+}
+
+func TestDataPacketRejectsBadInput(t *testing.T) {
+	good, err := MarshalData(&DataPacket{Dst: 1, Src: 2, TTL: 3, Body: []byte("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalData(good[:dataHeaderLen-1]); err == nil {
+		t.Fatal("accepted truncated header")
+	}
+	if _, err := UnmarshalData(good[:len(good)-1]); err == nil {
+		t.Fatal("accepted truncated body")
+	}
+	if _, err := UnmarshalData(append(bytes.Clone(good), 0)); err == nil {
+		t.Fatal("accepted trailing garbage")
+	}
+	if _, err := MarshalData(&DataPacket{Body: make([]byte, MaxDataBody+1)}); err == nil {
+		t.Fatal("marshal accepted oversize body")
+	}
+}

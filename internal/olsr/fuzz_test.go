@@ -1,0 +1,142 @@
+package olsr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// The message decoders face raw network bytes once the daemon runs the
+// protocol over real sockets. The fuzzers assert the hardening contract: no
+// input panics or over-allocates, and every accepted input re-encodes
+// bit-identically (the wire form is canonical), so a decoded message is
+// always one the marshaller could have produced.
+
+func helloSeeds() [][]byte {
+	return [][]byte{
+		MarshalHello(&Hello{Origin: 1, Seq: 7}),
+		MarshalHello(&Hello{
+			Origin: -3, Seq: 65535,
+			Links: []LinkInfo{{Neighbor: 2, Weight: 1.5}, {Neighbor: 3, Weight: 0.25}},
+			MPRs:  []int64{2},
+		}),
+		MarshalHello(&Hello{
+			Origin: 9, Seq: 1,
+			Links: []LinkInfo{{Neighbor: 4, Weight: 12}},
+			MPRs:  []int64{4, 5},
+			LQs:   []LinkInfo{{Neighbor: 4, Weight: 0.75}, {Neighbor: 5, Weight: 1}},
+		}),
+	}
+}
+
+func FuzzUnmarshalHello(f *testing.F) {
+	for _, s := range helloSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		h, err := UnmarshalHello(buf)
+		if err != nil {
+			return
+		}
+		for _, l := range h.Links {
+			if !validWeight(l.Weight) {
+				t.Fatalf("accepted invalid link weight %v", l.Weight)
+			}
+		}
+		for _, l := range h.LQs {
+			if !validWeight(l.Weight) {
+				t.Fatalf("accepted invalid lq weight %v", l.Weight)
+			}
+		}
+		if out := MarshalHello(h); !bytes.Equal(out, buf) {
+			t.Fatalf("non-canonical hello: decode/encode changed %x to %x", buf, out)
+		}
+	})
+}
+
+func FuzzUnmarshalTC(f *testing.F) {
+	f.Add(MarshalTC(&TC{Origin: 1, Seq: 2, ANSN: 3}))
+	f.Add(MarshalTC(&TC{
+		Origin: -9, Seq: 65535, ANSN: 32768,
+		Links: []LinkInfo{{Neighbor: 1, Weight: 0}, {Neighbor: 7, Weight: 123.5}},
+	}))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		tc, err := UnmarshalTC(buf)
+		if err != nil {
+			return
+		}
+		for _, l := range tc.Links {
+			if !validWeight(l.Weight) {
+				t.Fatalf("accepted invalid link weight %v", l.Weight)
+			}
+		}
+		if out := MarshalTC(tc); !bytes.Equal(out, buf) {
+			t.Fatalf("non-canonical tc: decode/encode changed %x to %x", buf, out)
+		}
+	})
+}
+
+// corruptWeight rewrites the first link weight of an encoded message in
+// place. Layout: type(1) origin(8) seq(2) count(2) for HELLOs, plus ANSN
+// before the count for TCs; the first weight sits 8 bytes into the first
+// link entry.
+func corruptWeight(buf []byte, linkOff int, w float64) []byte {
+	out := bytes.Clone(buf)
+	binary.BigEndian.PutUint64(out[linkOff+8:], math.Float64bits(w))
+	return out
+}
+
+// TestUnmarshalRejectsHostileWeights locks the validation the fuzzers rely
+// on: NaN, infinite and negative weights — expressible on the wire, never
+// produced by a legitimate sender — are decode errors, not poison that
+// reaches the metric comparisons.
+func TestUnmarshalRejectsHostileWeights(t *testing.T) {
+	hello := MarshalHello(&Hello{Origin: 1, Links: []LinkInfo{{Neighbor: 2, Weight: 3}}})
+	tc := MarshalTC(&TC{Origin: 1, Links: []LinkInfo{{Neighbor: 2, Weight: 3}}})
+	for _, w := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1} {
+		if _, err := UnmarshalHello(corruptWeight(hello, 13, w)); err == nil {
+			t.Errorf("hello with link weight %v accepted", w)
+		}
+		if _, err := UnmarshalTC(corruptWeight(tc, 15, w)); err == nil {
+			t.Errorf("tc with link weight %v accepted", w)
+		}
+	}
+	lq := MarshalHello(&Hello{Origin: 1, LQs: []LinkInfo{{Neighbor: 2, Weight: 0.5}}})
+	// The LQ block starts after header(13) + mpr count(2) + lq count(2).
+	if _, err := UnmarshalHello(corruptWeight(lq, 17, math.NaN())); err == nil {
+		t.Error("hello with NaN lq weight accepted")
+	}
+}
+
+func TestUnmarshalRejectsNonCanonicalEncodings(t *testing.T) {
+	// An explicit zero-count LQ block: the marshaller omits empty blocks.
+	h := MarshalHello(&Hello{Origin: 1, MPRs: []int64{2}})
+	if _, err := UnmarshalHello(append(bytes.Clone(h), 0, 0)); err == nil {
+		t.Error("hello with explicit empty lq block accepted")
+	}
+	// Trailing bytes after a complete TC.
+	tc := MarshalTC(&TC{Origin: 1, Links: []LinkInfo{{Neighbor: 2, Weight: 3}}})
+	if _, err := UnmarshalTC(append(bytes.Clone(tc), 0xff)); err == nil {
+		t.Error("tc with trailing garbage accepted")
+	}
+}
+
+// TestUnmarshalAbsurdCounts claims far more entries than the buffer holds;
+// the decoders must error out before allocating for the claim.
+func TestUnmarshalAbsurdCounts(t *testing.T) {
+	hello := MarshalHello(&Hello{Origin: 1})
+	for _, off := range []int{11} { // link count field
+		b := bytes.Clone(hello)
+		binary.BigEndian.PutUint16(b[off:], 65535)
+		if _, err := UnmarshalHello(b); err == nil {
+			t.Errorf("hello claiming 65535 entries at offset %d accepted", off)
+		}
+	}
+	tc := MarshalTC(&TC{Origin: 1})
+	b := bytes.Clone(tc)
+	binary.BigEndian.PutUint16(b[13:], 65535)
+	if _, err := UnmarshalTC(b); err == nil {
+		t.Error("tc claiming 65535 links accepted")
+	}
+}

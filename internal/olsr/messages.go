@@ -92,6 +92,17 @@ const (
 	linkInfoLen = 8 + 8
 )
 
+// validWeight reports whether an advertised link weight is acceptable from
+// the wire. The decoders face untrusted network bytes: a NaN weight would
+// poison every metric comparison downstream (NaN compares false against
+// everything, corrupting Dijkstra and the selection orderings), an infinite
+// or negative one breaks the additive metrics' optimality assumptions. Every
+// legitimate sender — simulator oracle, measured ETX/delivery estimates,
+// RTT-derived delays — produces finite non-negative weights.
+func validWeight(w float64) bool {
+	return !math.IsNaN(w) && !math.IsInf(w, 0) && w >= 0
+}
+
 // MarshalHello encodes h into a fresh byte slice.
 func MarshalHello(h *Hello) []byte {
 	size := headerLen + 2 + len(h.Links)*linkInfoLen + len(h.MPRs)*8
@@ -144,6 +155,9 @@ func UnmarshalHello(buf []byte) (*Hello, error) {
 	for i := 0; i < n; i++ {
 		h.Links[i].Neighbor = int64(binary.BigEndian.Uint64(buf[off : off+8]))
 		h.Links[i].Weight = math.Float64frombits(binary.BigEndian.Uint64(buf[off+8 : off+16]))
+		if !validWeight(h.Links[i].Weight) {
+			return nil, fmt.Errorf("olsr: hello link %d has invalid weight", i)
+		}
 		off += linkInfoLen
 	}
 	m := int(binary.BigEndian.Uint16(buf[off : off+2]))
@@ -164,6 +178,12 @@ func UnmarshalHello(buf []byte) (*Hello, error) {
 	}
 	q := int(binary.BigEndian.Uint16(buf[off : off+2]))
 	off += 2
+	if q == 0 {
+		// The marshaller omits an empty LQ block entirely; an explicit
+		// zero-count block is not a frame we produce, so reject it to keep
+		// the encoding canonical (decode(buf) re-encodes to buf).
+		return nil, fmt.Errorf("olsr: hello has explicit empty lq block")
+	}
 	if len(buf) < off+q*linkInfoLen {
 		return nil, fmt.Errorf("olsr: hello truncated (%d lqs claimed)", q)
 	}
@@ -171,6 +191,9 @@ func UnmarshalHello(buf []byte) (*Hello, error) {
 	for i := 0; i < q; i++ {
 		h.LQs[i].Neighbor = int64(binary.BigEndian.Uint64(buf[off : off+8]))
 		h.LQs[i].Weight = math.Float64frombits(binary.BigEndian.Uint64(buf[off+8 : off+16]))
+		if !validWeight(h.LQs[i].Weight) {
+			return nil, fmt.Errorf("olsr: hello lq %d has invalid weight", i)
+		}
 		off += linkInfoLen
 	}
 	if off != len(buf) {
@@ -216,7 +239,13 @@ func UnmarshalTC(buf []byte) (*TC, error) {
 	for i := 0; i < n; i++ {
 		t.Links[i].Neighbor = int64(binary.BigEndian.Uint64(buf[off : off+8]))
 		t.Links[i].Weight = math.Float64frombits(binary.BigEndian.Uint64(buf[off+8 : off+16]))
+		if !validWeight(t.Links[i].Weight) {
+			return nil, fmt.Errorf("olsr: tc link %d has invalid weight", i)
+		}
 		off += linkInfoLen
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("olsr: tc has trailing garbage (%d bytes)", len(buf)-off)
 	}
 	return t, nil
 }

@@ -39,6 +39,13 @@ type Config struct {
 	// LQWindow is the HELLO-history window measured ratios average over
 	// (default DefaultLQWindow). Only read under MeasuredQoS.
 	LQWindow int
+	// ExternalLinkSensing disables the protocol's own link sensing on
+	// HELLO receipt (both the oracle adoption of the sender's advertised
+	// weight and the MeasuredQoS delivery estimator): the embedding host
+	// owns the link table and feeds it through UpdateLink. The deployable
+	// daemon uses this to drive weights from real round-trip timing — the
+	// protocol machinery must not overwrite a measurement it cannot make.
+	ExternalLinkSensing bool
 }
 
 // DefaultConfig returns RFC-style timers with FNBP selection under the given
@@ -320,12 +327,17 @@ func (n *Node) GenerateHello(now time.Duration) *Hello {
 // invalidates the cached derivations.
 func (n *Node) HandleHello(h *Hello, now time.Duration) {
 	n.expire(now)
-	if n.cfg.MeasuredQoS {
+	switch {
+	case n.cfg.ExternalLinkSensing:
+		// The host senses links (e.g. from measured round-trip timing)
+		// and calls UpdateLink itself; the HELLO only feeds the
+		// neighborhood tables below.
+	case n.cfg.MeasuredQoS:
 		// Measured link sensing: the HELLO is a probe observation; the
 		// link weight comes from the bidirectional delivery estimate,
 		// not from any advertised value.
 		n.observeHello(h, now)
-	} else {
+	default:
 		// Receiving a HELLO proves the link (ideal symmetric MAC); adopt
 		// the neighbor's advertised weight toward us when present so both
 		// ends agree on the link weight.
