@@ -51,7 +51,7 @@ func main() {
 func run() error {
 	var (
 		figureID = flag.String("figure", "", "comma-separated sweeps to run (see -list), or \"all\" for fig6..fig9")
-		ablation = flag.String("ablation", "", "ablation short form to run instead: loopfix, locallinks, mprs, policy, upper, control, loss, load")
+		ablation = flag.String("ablation", "", "ablation short form to run instead: loopfix, locallinks, mprs, policy, upper, control, loss, load, scale")
 		runs     = flag.Int("runs", 100, "independent topologies per density point")
 		seed     = flag.Int64("seed", 1, "base RNG seed")
 		workers  = flag.Int("workers", 0, "parallelism budget across points and runs (0 = GOMAXPROCS)")
@@ -124,6 +124,19 @@ func run() error {
 			return fmt.Errorf("-ablation load has table output only; -json/-csv are not supported")
 		}
 		res, err := r.LoadSweep(ctx, qolsr.LoadSweepOptions{})
+		if err != nil {
+			return err
+		}
+		return res.WriteTable(os.Stdout)
+	}
+
+	if *ablation == "scale" {
+		// S1 measures simulator throughput against node count on the
+		// live stack; table form only.
+		if *jsonPath != "" || *csvPath != "" {
+			return fmt.Errorf("-ablation scale has table output only; -json/-csv are not supported")
+		}
+		res, err := r.ScaleSweep(ctx, qolsr.ScaleSweepOptions{})
 		if err != nil {
 			return err
 		}

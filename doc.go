@@ -156,6 +156,31 @@
 // it is computed — a guarantee locked by the golden and worker-determinism
 // tests.
 //
+// # Event-driven core
+//
+// Everything the simulator does — HELLO/TC emissions, soft-state expiries,
+// frame deliveries, traffic packet arrivals, phase actions and samples —
+// flows through one discrete-event scheduler (internal/des) whose
+// (time, priority, sequence) total order never consults memory addresses,
+// map iteration, or the wall clock: a run is a pure function of its inputs
+// and stays bit-identical regardless of host or how many workers drive
+// other runs in parallel. The scheduler is a pointer-free 4-ary heap
+// (entries carry only the ordering key and a slot index, so sifts are plain
+// memmoves with no GC write barriers) paired with a fixed-delay FIFO lane:
+// steady streams whose delays are constant — every hop of a
+// constant-latency medium — enqueue in O(1) and merge with the heap at pop
+// time under the same total order, falling back to the heap whenever a push
+// would break the lane's time order. Around it, the hot path is
+// allocation-free by construction: data packets, radio frames, and
+// protocol emitters are pooled; forwarding decisions are cached per
+// (node, destination) and invalidated by table or link generation;
+// duplicate suppression is a per-origin window probed in place;
+// soft-state expiry is a single watermark comparison until something can
+// actually be stale; and routing tables rebuild through an incremental SPF
+// cross-checked against full rebuilds. The node-count scaling of the whole
+// stack is a first-class experiment (Runner.ScaleSweep, -ablation scale);
+// BENCH_core.json records the headline numbers.
+//
 // # Quick start
 //
 //	dep := qolsr.PaperDeployment(15)                  // δ=15, 1000×1000, R=100

@@ -54,6 +54,10 @@ type (
 	LossSweepOptions = eval.LossSweepOptions
 	// LossSweepResult is Runner.LossSweep's outcome.
 	LossSweepResult = eval.LossSweepResult
+	// ScaleSweepOptions configures the S1 node-count scaling experiment.
+	ScaleSweepOptions = eval.ScaleSweepOptions
+	// ScaleSweepResult is Runner.ScaleSweep's outcome.
+	ScaleSweepResult = eval.ScaleSweepResult
 	// Results is a completed sweep with table/CSV/JSON encoders.
 	Results = runner.Result
 	// Event is one incremental sweep outcome (see Stream).
@@ -271,4 +275,17 @@ func (r *Runner) LossSweep(ctx context.Context, opts LossSweepOptions) (*LossSwe
 		opts.Runs = max(1, r.opts.Runs/20)
 	}
 	return eval.RunLossSweep(ctx, opts)
+}
+
+// ScaleSweep measures simulator throughput against node count on the live
+// protocol stack (experiment S1): fields of growing population at constant
+// density, reporting wall time, events executed and event throughput per
+// point. It honours ctx and the runner's seed where the sweep's own is
+// unset; Runs defaults to 1 — the axis is engine cost, not protocol
+// statistics.
+func (r *Runner) ScaleSweep(ctx context.Context, opts ScaleSweepOptions) (*ScaleSweepResult, error) {
+	if opts.Seed == 0 {
+		opts.Seed = r.opts.Seed
+	}
+	return eval.RunScaleSweep(ctx, opts)
 }

@@ -1,0 +1,251 @@
+// Package des is the discrete-event scheduler at the bottom of the
+// simulation stack: one deterministic priority queue in virtual time
+// carrying everything the simulator does — HELLO/TC emissions, medium frame
+// deliveries, traffic packet departures, phase actions and samples.
+//
+// Determinism is the design constraint. Events are totally ordered by
+// (time, priority, sequence): equal-time events run by ascending priority
+// band, and within a band in scheduling (FIFO) order. The ordering never
+// consults memory addresses, map iteration, or wall-clock state, so a run
+// is a pure function of its inputs and stays bit-identical regardless of
+// host, GOMAXPROCS, or how many worker goroutines drive *other* queues in
+// parallel (each Queue itself is single-threaded, the unit of parallelism
+// is one run).
+//
+// The hot path is allocation-free. Heap entries are stored by value (no
+// per-event box), and the Event interface admits pooled or persistent
+// implementations: a periodic emitter is one long-lived Event that
+// reschedules itself, a frame delivery is a pooled object recycled after
+// Fire. The Func adapter keeps the closure API available where rates are
+// low (func values are pointer-shaped, so the interface conversion itself
+// does not allocate).
+package des
+
+import "time"
+
+// Event is one scheduled occurrence. Fire runs it at its scheduled time;
+// now is the queue's current virtual time (equal to the time the event was
+// scheduled for). An Event may reschedule itself or schedule further events
+// from inside Fire.
+type Event interface {
+	Fire(now time.Duration)
+}
+
+// Func adapts a plain closure to Event. func values are pointer-shaped, so
+// converting a Func to Event allocates nothing beyond the closure itself.
+type Func func()
+
+// Fire implements Event.
+func (f Func) Fire(time.Duration) { f() }
+
+// Priority bands for equal-time events. Lower runs first. Most traffic uses
+// Normal — the band only matters when distinct subsystems collide on the
+// same instant and one must observe the other's effects.
+const (
+	// PrioNormal is the default band: protocol emissions, deliveries,
+	// expiries, packet departures.
+	PrioNormal int32 = 0
+	// PrioSample is the measurement band: samples scheduled at time t
+	// observe every normal event of time t.
+	PrioSample int32 = 1 << 10
+)
+
+// item is one heap entry, stored by value: scheduling an event moves no
+// memory to the heap beyond these five words.
+// Heap entries are pointer-free: the Event lives in a stable slot array and
+// the heap holds only its ordering key plus the slot index, so the many
+// entry moves of a sift are plain memmoves with no GC write barriers — the
+// barriers were a quarter of the per-event cost when the interface value
+// sat in the heap itself.
+type item struct {
+	at   time.Duration
+	seq  uint64
+	prio int32
+	slot int32
+}
+
+// before is the total event order: (time, priority, sequence).
+func (a item) before(b item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+// Queue is a single-threaded discrete-event scheduler. The zero value is
+// ready to use.
+type Queue struct {
+	now   time.Duration
+	seq   uint64
+	heap  []item
+	slots []Event // scheduled events, indexed by item.slot
+	free  []int32 // recycled slot indices
+	// fifo is the fixed-delay fast lane: events whose scheduled times
+	// arrive in non-decreasing order (every hop of a constant-latency
+	// medium) sit in a plain queue and merge with the heap at pop time
+	// under the same total order — O(1) instead of a sift on both ends.
+	fifo     []item
+	fifoHead int
+	// Executed counts processed events.
+	Executed uint64
+}
+
+// Now returns the current virtual time.
+func (q *Queue) Now() time.Duration { return q.now }
+
+// Pending returns the number of queued events.
+func (q *Queue) Pending() int { return len(q.heap) + len(q.fifo) - q.fifoHead }
+
+// Schedule books ev at absolute virtual time t (clamped to now for past
+// times) in the given priority band.
+func (q *Queue) Schedule(t time.Duration, prio int32, ev Event) {
+	if t < q.now {
+		t = q.now
+	}
+	q.seq++
+	q.push(item{at: t, prio: prio, seq: q.seq, slot: q.alloc(ev)})
+}
+
+// AfterFixed schedules ev after a delay in the normal band through the
+// fixed-delay fast lane. It is meant for steady streams whose delays are
+// constant (so scheduled times never decrease); a call that would break
+// the lane's time order falls back to the heap, which preserves the exact
+// global pop order either way — the lane is a performance hint, never a
+// semantic one.
+func (q *Queue) AfterFixed(d time.Duration, ev Event) {
+	t := q.now + d
+	if n := len(q.fifo); n > q.fifoHead && q.fifo[n-1].at > t {
+		q.Schedule(t, PrioNormal, ev)
+		return
+	}
+	q.seq++
+	if q.fifoHead > 0 && q.fifoHead >= len(q.fifo)/2 {
+		q.fifo = q.fifo[:copy(q.fifo, q.fifo[q.fifoHead:])]
+		q.fifoHead = 0
+	}
+	q.fifo = append(q.fifo, item{at: t, prio: PrioNormal, seq: q.seq, slot: q.alloc(ev)})
+}
+
+// alloc stores ev in a stable slot and returns its index.
+func (q *Queue) alloc(ev Event) int32 {
+	if n := len(q.free); n > 0 {
+		slot := q.free[n-1]
+		q.free = q.free[:n-1]
+		q.slots[slot] = ev
+		return slot
+	}
+	slot := int32(len(q.slots))
+	q.slots = append(q.slots, ev)
+	return slot
+}
+
+// At schedules ev at absolute time t in the normal band.
+func (q *Queue) At(t time.Duration, ev Event) { q.Schedule(t, PrioNormal, ev) }
+
+// After schedules ev after a delay in the normal band.
+func (q *Queue) After(d time.Duration, ev Event) { q.Schedule(q.now+d, PrioNormal, ev) }
+
+// Run processes events in order until the queue empties or the next event
+// lies beyond until, then advances virtual time to until. It returns the
+// number of events processed by this call.
+func (q *Queue) Run(until time.Duration) uint64 {
+	var processed uint64
+	for {
+		// Merge the heap and the fixed-delay lane under the one total
+		// order: both are min-ordered, so the overall minimum is
+		// whichever head sorts first.
+		var top item
+		fromFifo := false
+		if len(q.heap) > 0 {
+			top = q.heap[0]
+			if q.fifoHead < len(q.fifo) && q.fifo[q.fifoHead].before(top) {
+				top = q.fifo[q.fifoHead]
+				fromFifo = true
+			}
+		} else if q.fifoHead < len(q.fifo) {
+			top = q.fifo[q.fifoHead]
+			fromFifo = true
+		} else {
+			break
+		}
+		if top.at > until {
+			break
+		}
+		ev := q.slots[top.slot]
+		q.slots[top.slot] = nil
+		q.free = append(q.free, top.slot)
+		if fromFifo {
+			q.fifoHead++
+		} else {
+			q.pop()
+		}
+		q.now = top.at
+		ev.Fire(top.at)
+		processed++
+		q.Executed++
+	}
+	if q.now < until {
+		q.now = until
+	}
+	return processed
+}
+
+// The heap is 4-ary: half the depth of a binary heap, so half the moves on
+// push and a cache-friendlier sift on pop — the heap operation is the
+// per-event floor of the whole simulator. The shape is invisible to
+// ordering: before() is a total order (the sequence number is unique), so
+// any min-heap pops the identical event sequence.
+
+// push sifts a new item up the heap.
+func (q *Queue) push(it item) {
+	h := append(q.heap, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !it.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = it
+	q.heap = h
+}
+
+// pop removes the minimum item (the caller has already read q.heap[0]).
+func (q *Queue) pop() {
+	h := q.heap
+	last := len(h) - 1
+	it := h[last]
+	h = h[:last]
+	q.heap = h
+	if last == 0 {
+		return
+	}
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= last {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if h[c].before(h[min]) {
+				min = c
+			}
+		}
+		if !h[min].before(it) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = it
+}

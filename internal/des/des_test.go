@@ -1,0 +1,266 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// record appends its tag to a shared trace when fired.
+type record struct {
+	tag   int
+	trace *[]int
+}
+
+func (r *record) Fire(time.Duration) { *r.trace = append(*r.trace, r.tag) }
+
+// TestTieBreakOrdering pins the total event order: time first, then
+// priority band, then scheduling order — never insertion position or
+// address.
+func TestTieBreakOrdering(t *testing.T) {
+	var q Queue
+	var trace []int
+	add := func(at time.Duration, prio int32, tag int) {
+		q.Schedule(at, prio, &record{tag: tag, trace: &trace})
+	}
+	// Scheduled deliberately out of order.
+	add(2*time.Second, PrioNormal, 4)
+	add(time.Second, PrioSample, 3) // same time as 1,2 but sample band
+	add(time.Second, PrioNormal, 1) // FIFO before the next one
+	add(time.Second, PrioNormal, 2)
+	add(0, PrioNormal, 0)
+	add(2*time.Second, PrioNormal, 5) // FIFO after tag 4
+
+	q.Run(10 * time.Second)
+	want := []int{0, 1, 2, 3, 4, 5}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+// TestPastClamp schedules an event in the past and expects it to run "now".
+func TestPastClamp(t *testing.T) {
+	var q Queue
+	q.Run(5 * time.Second)
+	var at time.Duration = -1
+	q.Schedule(time.Second, PrioNormal, Func(func() { at = q.Now() }))
+	q.Run(10 * time.Second)
+	if at != 5*time.Second {
+		t.Fatalf("past event ran at %v, want clamped to 5s", at)
+	}
+}
+
+// TestHeapAgainstSort drives the queue with a large random schedule and
+// checks the pop order against a stable reference sort of (time, prio, seq).
+func TestHeapAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type key struct {
+		at   time.Duration
+		prio int32
+		seq  int
+	}
+	var q Queue
+	var keys []key
+	var got []key
+	for i := 0; i < 5000; i++ {
+		k := key{
+			at:   time.Duration(rng.Intn(50)) * time.Millisecond,
+			prio: int32(rng.Intn(3)),
+			seq:  i,
+		}
+		keys = append(keys, k)
+		kk := k
+		q.Schedule(k.at, k.prio, Func(func() { got = append(got, kk) }))
+	}
+	sort.SliceStable(keys, func(i, j int) bool {
+		if keys[i].at != keys[j].at {
+			return keys[i].at < keys[j].at
+		}
+		return keys[i].prio < keys[j].prio
+	})
+	q.Run(time.Second)
+	if len(got) != len(keys) {
+		t.Fatalf("executed %d events, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], keys[i])
+		}
+	}
+	if q.Executed != uint64(len(keys)) {
+		t.Fatalf("Executed = %d, want %d", q.Executed, len(keys))
+	}
+}
+
+// selfScheduler re-books itself until a deadline — the persistent-event
+// shape every periodic emitter uses.
+type selfScheduler struct {
+	q     *Queue
+	every time.Duration
+	until time.Duration
+	fires int
+}
+
+func (s *selfScheduler) Fire(now time.Duration) {
+	s.fires++
+	if now+s.every <= s.until {
+		s.q.After(s.every, s)
+	}
+}
+
+// TestSteadyStateAllocFree checks that a warm queue driving a persistent
+// event allocates nothing per event — the property the pooled hot path is
+// built on.
+func TestSteadyStateAllocFree(t *testing.T) {
+	var q Queue
+	ev := &selfScheduler{q: &q, every: time.Millisecond, until: 1<<62 - 1}
+	q.After(0, ev)
+	q.Run(10 * time.Millisecond) // warm the heap storage
+	end := q.Now()
+	per := testing.AllocsPerRun(100, func() {
+		end += 10 * time.Millisecond
+		q.Run(end)
+	})
+	if per > 0 {
+		t.Fatalf("steady-state Run allocates %.1f objects per call, want 0", per)
+	}
+}
+
+// BenchmarkScheduler measures raw scheduler throughput: one persistent
+// self-rescheduling event processed per iteration, the floor cost every
+// simulated packet or frame pays.
+func BenchmarkScheduler(b *testing.B) {
+	var q Queue
+	ev := &selfScheduler{q: &q, every: time.Microsecond, until: 1<<62 - 1}
+	q.After(0, ev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	end := q.Now()
+	for i := 0; i < b.N; i++ {
+		end += time.Microsecond
+		q.Run(end)
+	}
+	b.ReportMetric(float64(q.Executed)/b.Elapsed().Seconds(), "events/s")
+}
+
+// fixedSelfScheduler is selfScheduler on the fixed-delay lane.
+type fixedSelfScheduler struct {
+	q     *Queue
+	every time.Duration
+	until time.Duration
+	fires int
+}
+
+func (s *fixedSelfScheduler) Fire(now time.Duration) {
+	s.fires++
+	if now+s.every <= s.until {
+		s.q.AfterFixed(s.every, s)
+	}
+}
+
+// BenchmarkSchedulerFixedLane is BenchmarkScheduler through AfterFixed: a
+// constant-delay stream rides the FIFO lane instead of the heap, the path
+// every hop of a constant-latency medium takes.
+func BenchmarkSchedulerFixedLane(b *testing.B) {
+	var q Queue
+	ev := &fixedSelfScheduler{q: &q, every: time.Microsecond, until: 1<<62 - 1}
+	q.After(0, ev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	end := q.Now()
+	for i := 0; i < b.N; i++ {
+		end += time.Microsecond
+		q.Run(end)
+	}
+	b.ReportMetric(float64(q.Executed)/b.Elapsed().Seconds(), "events/s")
+}
+
+// TestFixedLaneAgainstSort mixes heap scheduling with the fixed-delay lane
+// and checks the merged pop order is still the one total (time, priority,
+// sequence) order — including AfterFixed calls whose times regress, which
+// must fall back to the heap rather than corrupt the lane's time order.
+func TestFixedLaneAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type key struct {
+		at   time.Duration
+		prio int32
+		seq  int
+	}
+	var q Queue
+	var keys []key
+	var got []key
+	for i := 0; i < 5000; i++ {
+		at := time.Duration(rng.Intn(50)) * time.Millisecond
+		k := key{at: at, prio: PrioNormal, seq: i}
+		if rng.Intn(2) == 0 {
+			k.prio = int32(rng.Intn(3))
+			kk := k
+			q.Schedule(at, k.prio, Func(func() { got = append(got, kk) }))
+		} else {
+			kk := k
+			// q.now is 0 outside Run, so the delay is the absolute time;
+			// the random sequence regresses constantly, exercising the
+			// heap fallback alongside the lane.
+			q.AfterFixed(at, Func(func() { got = append(got, kk) }))
+		}
+		keys = append(keys, k)
+	}
+	if q.Pending() != len(keys) {
+		t.Fatalf("Pending = %d, want %d", q.Pending(), len(keys))
+	}
+	sort.SliceStable(keys, func(i, j int) bool {
+		if keys[i].at != keys[j].at {
+			return keys[i].at < keys[j].at
+		}
+		return keys[i].prio < keys[j].prio
+	})
+	q.Run(time.Second)
+	if len(got) != len(keys) {
+		t.Fatalf("executed %d events, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], keys[i])
+		}
+	}
+}
+
+// TestFixedLaneSteadyStream drives a self-rescheduling event through the
+// fixed lane only — the constant-delay hop stream the lane exists for —
+// and checks order against an equal-rate heap stream.
+func TestFixedLaneSteadyStream(t *testing.T) {
+	var q Queue
+	var trace []int
+	var lane, heap func()
+	lane = func() {
+		trace = append(trace, 0)
+		if q.Now() < 40*time.Millisecond {
+			q.AfterFixed(time.Millisecond, Func(lane))
+		}
+	}
+	heap = func() {
+		trace = append(trace, 1)
+		if q.Now() < 40*time.Millisecond {
+			q.After(time.Millisecond, Func(heap))
+		}
+	}
+	// The lane event is scheduled first at every instant, so it must run
+	// first at every instant.
+	q.AfterFixed(time.Millisecond, Func(lane))
+	q.After(time.Millisecond, Func(heap))
+	q.Run(time.Second)
+	if len(trace) == 0 || len(trace)%2 != 0 {
+		t.Fatalf("trace length %d, want even and positive", len(trace))
+	}
+	for i := 0; i < len(trace); i += 2 {
+		if trace[i] != 0 || trace[i+1] != 1 {
+			t.Fatalf("instant %d ran as %v, want lane then heap", i/2, trace[i:i+2])
+		}
+	}
+}

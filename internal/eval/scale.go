@@ -1,0 +1,220 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"qolsr/internal/geom"
+	"qolsr/internal/metric"
+	"qolsr/internal/netgen"
+	"qolsr/internal/olsr"
+	"qolsr/internal/rng"
+	"qolsr/internal/sim"
+	"qolsr/internal/stats"
+	"qolsr/internal/traffic"
+)
+
+// The node-count scaling sweep (experiment S1): run the full live stack —
+// deterministic event core, incremental SPF, MPR flooding, sustained CBR
+// traffic — on fields of growing node count at constant density, and report
+// how the simulator itself scales: wall-clock time, events executed, and
+// event throughput per point, alongside the delivery ratio as a correctness
+// pulse. Unlike the density sweeps (which grow degree on a fixed field),
+// the field area grows with N so the mean degree stays put and the axis
+// isolates population size.
+
+// ScaleSweepOptions configures the S1 experiment.
+type ScaleSweepOptions struct {
+	// Nodes is the node-count axis (default {50, 100, 250, 500, 1000}).
+	// Each point deploys exactly that many nodes — the field is sized for
+	// constant density, so ~Degree mean degree at every N.
+	Nodes []int
+	// Degree is the constant target mean degree (default 10).
+	Degree float64
+	// Flows is the number of concurrent CBR flows at every point (a fixed
+	// offered load, so the axis measures core scaling, not traffic
+	// scaling; default 32).
+	Flows int
+	// RateBps is the per-flow offered load (default 16384).
+	RateBps float64
+	// Warmup is the protocol convergence time before flows start
+	// (default 10s).
+	Warmup time.Duration
+	// SimTime is the traffic duration after warmup (default 10s).
+	SimTime time.Duration
+	// Runs is the number of independent fields per point (default 1 —
+	// the big points are the expensive part and the quantities of
+	// interest are throughput, not protocol statistics).
+	Runs int
+	// Seed derives field, protocol and flow randomness.
+	Seed int64
+}
+
+// ScalePoint is one node-count measurement.
+type ScalePoint struct {
+	Nodes int
+	// Edges is the realized physical edge count.
+	Edges stats.Accumulator
+	// WallSeconds is the wall-clock time of the whole point: protocol
+	// start, warmup, and the traffic phase.
+	WallSeconds stats.Accumulator
+	// Events is the number of discrete events the engine executed.
+	Events stats.Accumulator
+	// EventsPerSec is Events over wall time — the engine's realized
+	// throughput at this scale.
+	EventsPerSec stats.Accumulator
+	// Delivery is the traffic mix's packet delivery ratio.
+	Delivery stats.Accumulator
+}
+
+// ScaleSweepResult is the outcome of RunScaleSweep.
+type ScaleSweepResult struct {
+	Options ScaleSweepOptions
+	// Points is indexed by the Nodes axis.
+	Points []*ScalePoint
+}
+
+// RunScaleSweep measures simulator throughput against node count on the
+// live stack. Cancelling ctx stops between simulations and returns
+// ctx.Err().
+func RunScaleSweep(ctx context.Context, opts ScaleSweepOptions) (*ScaleSweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(opts.Nodes) == 0 {
+		opts.Nodes = []int{50, 100, 250, 500, 1000}
+	}
+	if opts.Degree <= 0 {
+		opts.Degree = 10
+	}
+	if opts.Flows <= 0 {
+		opts.Flows = 32
+	}
+	if opts.RateBps <= 0 {
+		opts.RateBps = 16384
+	}
+	if opts.Warmup <= 0 {
+		opts.Warmup = 10 * time.Second
+	}
+	if opts.SimTime <= 0 {
+		opts.SimTime = 10 * time.Second
+	}
+	if opts.Runs <= 0 {
+		opts.Runs = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+
+	res := &ScaleSweepResult{Options: opts}
+	for _, n := range opts.Nodes {
+		p := &ScalePoint{Nodes: n}
+		for run := 0; run < opts.Runs; run++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := runScalePoint(p, n, run, opts); err != nil {
+				return nil, err
+			}
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// scaleRadius is the communication radius shared with the other sweeps.
+const scaleRadius = 100
+
+// runScalePoint executes one (node count, run) simulation and folds its
+// measurements into the point.
+func runScalePoint(p *ScalePoint, n, run int, opts ScaleSweepOptions) error {
+	fieldSeed := RunSeed(opts.Seed, float64(n), run)
+	fieldRNG := rand.New(rand.NewSource(fieldSeed))
+	// Size the square field so a uniform drop of exactly n nodes hits the
+	// target density: degree ≈ λπR² with λ = n/area, so side =
+	// R·sqrt(πn/degree). Sampling exactly n (instead of a Poisson draw)
+	// keeps the axis label honest — a 1000-node point has 1000 nodes.
+	side := scaleRadius * math.Sqrt(math.Pi*float64(n)/opts.Degree)
+	field := geom.Field{Width: side, Height: side}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: fieldRNG.Float64() * side, Y: fieldRNG.Float64() * side}
+	}
+	g, err := netgen.FromPoints(field, scaleRadius, pts, "bandwidth", metric.DefaultInterval(), fieldRNG)
+	if err != nil {
+		return err
+	}
+	pairs := sim.DrawPairs(g.N(), opts.Flows, int64(rng.Mix(uint64(fieldSeed), 0x5CA1E)))
+
+	cfg := olsr.DefaultConfig(metric.Bandwidth())
+	nw, err := sim.NewNetwork(g, cfg, sim.NetworkOptions{Seed: RunSeed(fieldSeed, float64(n), run)})
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	nw.Start()
+	nw.Run(opts.Warmup)
+	eng := traffic.NewEngine(nw, int64(rng.Mix(uint64(fieldSeed), 0x5CA1E, uint64(run))))
+	for i, pr := range pairs {
+		if err := eng.Add(traffic.Flow{
+			ID:          i,
+			Class:       traffic.ClassCBR,
+			Src:         pr[0],
+			Dst:         pr[1],
+			RateBps:     opts.RateBps,
+			PacketBytes: traffic.DefaultPacketBytes,
+			Start:       opts.Warmup,
+		}); err != nil {
+			return err
+		}
+	}
+	stop := opts.Warmup + opts.SimTime
+	if err := eng.Start(stop); err != nil {
+		return err
+	}
+	nw.Run(stop)
+	wall := time.Since(start).Seconds()
+
+	rep := eng.Report()
+	events := float64(nw.Engine.Executed)
+	p.Edges.Add(float64(g.M()))
+	p.WallSeconds.Add(wall)
+	p.Events.Add(events)
+	if wall > 0 {
+		p.EventsPerSec.Add(events / wall)
+	}
+	p.Delivery.Add(rep.Total.Delivery)
+	return nil
+}
+
+// WriteTable renders the sweep as an aligned table.
+func (r *ScaleSweepResult) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# S1 — simulator scaling vs node count (degree %g, %d flows, %v warmup + %v traffic, %d runs/point)\n",
+		r.Options.Degree, r.Options.Flows, r.Options.Warmup, r.Options.SimTime, r.Options.Runs); err != nil {
+		return err
+	}
+	header := []string{"nodes", "edges", "wall_s", "events", "Mev/s", "dlv"}
+	if _, err := fmt.Fprintln(w, strings.Join(pad(header), "  ")); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		cells := []string{
+			fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%.0f", p.Edges.Mean()),
+			fmt.Sprintf("%.2f", p.WallSeconds.Mean()),
+			fmt.Sprintf("%.0f", p.Events.Mean()),
+			fmt.Sprintf("%.2f", p.EventsPerSec.Mean()/1e6),
+			fmt.Sprintf("%.3f", p.Delivery.Mean()),
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(pad(cells), "  ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunScaleSweep runs a small node-count sweep twice and checks the
+// deterministic quantities (node/edge counts, events executed, delivery)
+// are identical across invocations — wall time is the only nondeterministic
+// column.
+func TestRunScaleSweep(t *testing.T) {
+	opts := ScaleSweepOptions{
+		Nodes:   []int{30, 60},
+		Flows:   8,
+		Warmup:  5 * time.Second,
+		SimTime: 5 * time.Second,
+		Seed:    7,
+	}
+	first, err := RunScaleSweep(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("RunScaleSweep: %v", err)
+	}
+	if len(first.Points) != len(opts.Nodes) {
+		t.Fatalf("points = %d, want %d", len(first.Points), len(opts.Nodes))
+	}
+	for i, p := range first.Points {
+		if p.Nodes != opts.Nodes[i] {
+			t.Errorf("point %d: Nodes = %d, want %d", i, p.Nodes, opts.Nodes[i])
+		}
+		if p.Events.Mean() <= 0 {
+			t.Errorf("point %d: no events executed", i)
+		}
+		if p.Delivery.Mean() <= 0 {
+			t.Errorf("point %d: zero delivery", i)
+		}
+	}
+
+	second, err := RunScaleSweep(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("RunScaleSweep (second): %v", err)
+	}
+	for i := range first.Points {
+		a, b := first.Points[i], second.Points[i]
+		if a.Edges.Mean() != b.Edges.Mean() {
+			t.Errorf("point %d: edges differ across runs: %g vs %g", i, a.Edges.Mean(), b.Edges.Mean())
+		}
+		if a.Events.Mean() != b.Events.Mean() {
+			t.Errorf("point %d: events differ across runs: %g vs %g", i, a.Events.Mean(), b.Events.Mean())
+		}
+		if a.Delivery.Mean() != b.Delivery.Mean() {
+			t.Errorf("point %d: delivery differs across runs: %g vs %g", i, a.Delivery.Mean(), b.Delivery.Mean())
+		}
+	}
+
+	var sb strings.Builder
+	if err := first.WriteTable(&sb); err != nil {
+		t.Fatalf("WriteTable: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"nodes", "Mev/s", "30", "60"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunScaleSweepCancel checks ctx cancellation stops the sweep.
+func TestRunScaleSweepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunScaleSweep(ctx, ScaleSweepOptions{Nodes: []int{20}}); err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+}

@@ -7,18 +7,26 @@ import (
 // ShortestPaths is the result of a Dijkstra search: optimal path values from
 // one source under one metric, with a single optimal predecessor per node for
 // path extraction.
+//
+// The recorded predecessor tree is canonical: among paths of equal metric
+// value the search prefers fewer hops, and among those the predecessor with
+// the smallest node ID. The (Dist, prev) pair is therefore a pure function
+// of the edge set, the weights, and the node IDs — independent of edge
+// insertion order, node index assignment, and heap mechanics — which is the
+// property that lets incremental SPF repair (see SPF) reproduce a full
+// rebuild bit for bit.
 type ShortestPaths struct {
 	// Source is the search origin.
 	Source int32
 	// Dist maps each node to its optimal path value from Source, or
 	// metric.Worst() when unreachable (or outside the searched view).
 	Dist []float64
-	// Reached lists reached nodes in pop order (Source first). For
-	// additive metrics with positive weights the order is nondecreasing
-	// in path value.
+	// Reached lists reached nodes in pop order (Source first), which is
+	// nondecreasing in the canonical (value, hops) key.
 	Reached []int32
 
 	prev []int32
+	hops []int32
 }
 
 // PathTo returns one optimal path from the source to t as node indices
@@ -72,7 +80,21 @@ func (sp *ShortestPaths) FirstHops(first, hops []int32) (f, h []int32) {
 // heapItem is one pending entry of the search frontier (lazy deletion).
 type heapItem struct {
 	value float64
+	hops  int32
 	node  int32
+}
+
+// keyLess is the canonical frontier order: better metric value first, fewer
+// hops on ties. The predecessor-ID tie-break needs no heap participation —
+// equal-key candidates only ever update prev in place.
+func keyLess(m metric.Metric, a, b heapItem) bool {
+	if m.Better(a.value, b.value) {
+		return true
+	}
+	if m.Better(b.value, a.value) {
+		return false
+	}
+	return a.hops < b.hops
 }
 
 // Dijkstra computes optimal path values from src in g under metric m with
@@ -85,7 +107,10 @@ type heapItem struct {
 //
 // The metric's Combine must never improve a path (guaranteed by both
 // additive metrics with positive weights and concave bottleneck metrics),
-// which is the standard Dijkstra admissibility condition.
+// which is the standard Dijkstra admissibility condition. Note that the
+// canonical (value, hops, predecessor-ID) order is admissible whenever the
+// metric is: extending a path never improves its value, and on equal values
+// strictly increases its hop count.
 //
 // The result owns freshly-allocated buffers; repeated searches that do not
 // retain their results should go through a Scratch instead.
@@ -127,11 +152,13 @@ func (s *Scratch) Dijkstra(g *Graph, m metric.Metric, w []float64, src int32, vi
 	}
 	sp.Dist = sp.Dist[:n]
 	sp.prev = resizeInt32(sp.prev, n)
+	sp.hops = resizeInt32(sp.hops, n)
 	sp.Reached = sp.Reached[:0]
 	worst := m.Worst()
 	for i := range sp.Dist {
 		sp.Dist[i] = worst
 		sp.prev[i] = -2
+		sp.hops[i] = 0
 	}
 	if src == exclude || (view != nil && !view.InView(src)) {
 		return sp
@@ -147,7 +174,7 @@ func (s *Scratch) Dijkstra(g *Graph, m metric.Metric, w []float64, src int32, vi
 		done[i] = false
 	}
 	heap := s.heap[:0]
-	heap = pushHeap(heap, m, heapItem{value: sp.Dist[src], node: src})
+	heap = pushHeap(heap, m, heapItem{value: sp.Dist[src], hops: 0, node: src})
 	for len(heap) > 0 {
 		var top heapItem
 		top, heap = popHeap(heap, m)
@@ -165,11 +192,24 @@ func (s *Scratch) Dijkstra(g *Graph, m metric.Metric, w []float64, src int32, vi
 			if view != nil && !view.HasViewEdge(x, y) {
 				continue
 			}
-			v := m.Combine(sp.Dist[x], w[arc.Edge])
-			if sp.prev[y] == -2 || m.Better(v, sp.Dist[y]) {
-				sp.Dist[y] = v
+			cand := heapItem{
+				value: m.Combine(sp.Dist[x], w[arc.Edge]),
+				hops:  sp.hops[x] + 1,
+				node:  y,
+			}
+			switch {
+			case sp.prev[y] == -2 || keyLess(m, cand, heapItem{value: sp.Dist[y], hops: sp.hops[y]}):
+				sp.Dist[y] = cand.value
+				sp.hops[y] = cand.hops
 				sp.prev[y] = x
-				heap = pushHeap(heap, m, heapItem{value: v, node: y})
+				heap = pushHeap(heap, m, cand)
+			case cand.value == sp.Dist[y] && cand.hops == sp.hops[y] && g.ID(x) < g.ID(sp.prev[y]):
+				// Equal canonical key through a smaller-ID predecessor:
+				// reroute the tree edge in place. The label (value, hops)
+				// is unchanged, so no re-push is needed — and every such
+				// candidate arrives before y pops, because its offerer's
+				// key is strictly smaller than y's.
+				sp.prev[y] = x
 			}
 		}
 	}
@@ -177,14 +217,14 @@ func (s *Scratch) Dijkstra(g *Graph, m metric.Metric, w []float64, src int32, vi
 	return sp
 }
 
-// pushHeap inserts it into the binary heap ordered so that the best value
-// (under m.Better) sits at index 0.
+// pushHeap inserts it into the binary heap ordered so that the best
+// canonical key (under keyLess) sits at index 0.
 func pushHeap(h []heapItem, m metric.Metric, it heapItem) []heapItem {
 	h = append(h, it)
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !m.Better(h[i].value, h[parent].value) {
+		if !keyLess(m, h[i], h[parent]) {
 			break
 		}
 		h[i], h[parent] = h[parent], h[i]
@@ -203,10 +243,10 @@ func popHeap(h []heapItem, m metric.Metric) (heapItem, []heapItem) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		best := i
-		if l < len(h) && m.Better(h[l].value, h[best].value) {
+		if l < len(h) && keyLess(m, h[l], h[best]) {
 			best = l
 		}
-		if r < len(h) && m.Better(h[r].value, h[best].value) {
+		if r < len(h) && keyLess(m, h[r], h[best]) {
 			best = r
 		}
 		if best == i {

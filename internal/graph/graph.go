@@ -128,6 +128,85 @@ func (g *Graph) AddEdge(a, b int32) (int, error) {
 	return int(e), nil
 }
 
+// AddNode appends a new isolated node carrying id and returns its index.
+// Appending never disturbs existing indices or edges, so incrementally
+// maintained artifacts (cached SPF solutions, adjacency references) survive
+// growth — canonical tie-breaking is by NodeID, not index, so index
+// assignment order cannot leak into results. The uniqueness check is a
+// linear scan; callers growing large graphs keep their own id→index map and
+// only call AddNode for genuinely new IDs.
+func (g *Graph) AddNode(id NodeID) (int32, error) {
+	if g.IndexOf(id) >= 0 {
+		return 0, fmt.Errorf("graph: duplicate node id %d", id)
+	}
+	g.ids = append(g.ids, id)
+	g.adj = append(g.adj, nil)
+	if g.labels != nil {
+		g.labels = append(g.labels, "")
+	}
+	return int32(len(g.ids) - 1), nil
+}
+
+// RemoveEdge deletes undirected edge e in O(degree): the last edge index is
+// renumbered into the vacated slot (on every weight channel too), so edge
+// indices stay dense but are not stable across removals. Adjacency order is
+// not preserved — nothing in the package's algorithms depends on it.
+func (g *Graph) RemoveEdge(e int) error {
+	if e < 0 || e >= g.M() {
+		return fmt.Errorf("graph: edge %d out of range [0,%d)", e, g.M())
+	}
+	for ch, ws := range g.weights {
+		// Normalise channels created before edges existed, so the swap
+		// below moves every channel coherently.
+		if len(ws) != g.M() {
+			grown := make([]float64, g.M())
+			copy(grown, ws)
+			g.weights[ch] = grown
+		}
+	}
+	a, b := g.ends[e][0], g.ends[e][1]
+	g.dropArc(a, int32(e))
+	g.dropArc(b, int32(e))
+	last := g.M() - 1
+	if e != last {
+		la, lb := g.ends[last][0], g.ends[last][1]
+		g.ends[e] = g.ends[last]
+		g.renumberArc(la, int32(last), int32(e))
+		g.renumberArc(lb, int32(last), int32(e))
+	}
+	g.ends = g.ends[:last]
+	for ch, ws := range g.weights {
+		if e != last {
+			ws[e] = ws[last]
+		}
+		g.weights[ch] = ws[:last]
+	}
+	return nil
+}
+
+// dropArc removes the arc with edge index e from x's adjacency list.
+func (g *Graph) dropArc(x, e int32) {
+	adj := g.adj[x]
+	for i, arc := range adj {
+		if arc.Edge == e {
+			adj[i] = adj[len(adj)-1]
+			g.adj[x] = adj[:len(adj)-1]
+			return
+		}
+	}
+}
+
+// renumberArc rewrites x's arc carrying edge index from to carry to.
+func (g *Graph) renumberArc(x, from, to int32) {
+	adj := g.adj[x]
+	for i, arc := range adj {
+		if arc.Edge == from {
+			adj[i].Edge = to
+			return
+		}
+	}
+}
+
 // MustAddEdge is AddEdge for statically known-good fixtures; it panics on
 // error and is meant for tests and worked examples only.
 func (g *Graph) MustAddEdge(a, b int32) int {

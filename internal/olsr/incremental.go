@@ -1,0 +1,299 @@
+package olsr
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+
+	"qolsr/internal/graph"
+)
+
+// Incremental routing: instead of rebuilding the known-topology graph and
+// re-running Dijkstra from scratch on every state change, the node maintains
+// a long-lived routing graph and an incremental SPF solution (graph.SPF)
+// over it, and repairs only what a change touched.
+//
+// The unit of change is the unordered node pair. Every handler that alters
+// protocol state records the pairs whose effective link may have changed
+// (the dirty set); at the next table rebuild each dirty pair is re-resolved
+// against the authoritative state maps and the graph edge is added, removed
+// or reweighted to match, feeding graph.SPF.Touch. Resolution reproduces the
+// full rebuild's first-writer-wins precedence exactly — own links, then
+// HELLO-learned two-hop links (smaller direct-neighbor contributor first),
+// then TC-learned links (smaller origin first) — so the repaired table is
+// bit-identical to the one buildKnownTopology plus canonical Dijkstra
+// produces (Config.RouteCrossCheck pins this down in tests).
+//
+// The routing graph only ever grows its node set: nodes that drop out of the
+// protocol state just lose their edges and become unreachable, which keeps
+// every index (and the cached SPF labels) stable. Canonical tie-breaking is
+// by NodeID, never index, so the append order cannot leak into routes.
+
+// pairKey is an unordered node pair in normalised (lo <= hi) form.
+type pairKey struct {
+	lo, hi int64
+}
+
+// markPair records that the effective link between a and b may have changed.
+// Self-pairs are ignored, mirroring the edge accumulator's self-loop skip.
+func (n *Node) markPair(a, b int64) {
+	if a == b {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if n.dirty == nil {
+		n.dirty = make(map[pairKey]struct{})
+	}
+	n.dirty[pairKey{lo: a, hi: b}] = struct{}{}
+}
+
+// markLinkMapDiff marks every pair whose advertised weight differs between
+// an entry's old and new link sets (additions, removals and reweights).
+func (n *Node) markLinkMapDiff(origin int64, old, new map[int64]float64) {
+	for peer, w := range new {
+		if ow, ok := old[peer]; !ok || ow != w {
+			n.markPair(origin, peer)
+		}
+	}
+	for peer := range old {
+		if _, ok := new[peer]; !ok {
+			n.markPair(origin, peer)
+		}
+	}
+}
+
+// markNeighborPairs marks every pair the given neighbor's HELLO table
+// advertises. It is called when the neighbor's directness toggles (its own
+// link appearing or expiring), which changes the eligibility of all its
+// advertised links at once.
+func (n *Node) markNeighborPairs(nb int64) {
+	if tbl, ok := n.neighbors[nb]; ok {
+		for peer := range tbl.links {
+			n.markPair(nb, peer)
+		}
+	}
+}
+
+// resolvePair returns the current effective weight of the link between a and
+// b, consulting the state maps in the full rebuild's precedence order: own
+// links first, then HELLO advertisements from direct neighbors (the smaller
+// endpoint's advertisement wins), then TC advertisements (the smaller origin
+// wins). The second return is false when no valid state supports the link.
+func (n *Node) resolvePair(a, b int64) (float64, bool) {
+	if a == n.ID {
+		if l, ok := n.links[b]; ok {
+			return l.weight, true
+		}
+	} else if b == n.ID {
+		if l, ok := n.links[a]; ok {
+			return l.weight, true
+		}
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if w, ok := n.helloAdvertised(lo, hi); ok {
+		return w, true
+	}
+	if w, ok := n.helloAdvertised(hi, lo); ok {
+		return w, true
+	}
+	if t, ok := n.topology[lo]; ok {
+		if w, ok := t.links[hi]; ok {
+			return w, true
+		}
+	}
+	if t, ok := n.topology[hi]; ok {
+		if w, ok := t.links[lo]; ok {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// helloAdvertised returns nb's advertised weight for its link to peer, when
+// nb is a direct neighbor (we hold our own link to it) with a live HELLO
+// table. Links to ourselves never come from this tier (our own link table is
+// authoritative for those) and neither end can be us as contributor.
+func (n *Node) helloAdvertised(nb, peer int64) (float64, bool) {
+	if nb == n.ID || peer == n.ID {
+		return 0, false
+	}
+	if _, direct := n.links[nb]; !direct {
+		return 0, false
+	}
+	tbl, ok := n.neighbors[nb]
+	if !ok {
+		return 0, false
+	}
+	w, ok := tbl.links[peer]
+	return w, ok
+}
+
+// applyPair reconciles one dirty pair: re-resolve its effective weight and
+// make the routing graph agree, reporting any resulting edge change to the
+// incremental SPF.
+func (n *Node) applyPair(p pairKey, channel string) error {
+	w, ok := n.resolvePair(p.lo, p.hi)
+	ia, haveA := n.rindex[p.lo]
+	ib, haveB := n.rindex[p.hi]
+	if !ok {
+		// No supporting state: drop the edge if it exists.
+		if haveA && haveB {
+			if e, exists := n.rg.EdgeBetween(ia, ib); exists {
+				if err := n.rg.RemoveEdge(e); err != nil {
+					return err
+				}
+				if n.rspf != nil {
+					n.rspf.Touch(ia, ib)
+				}
+			}
+		}
+		return nil
+	}
+	if !haveA {
+		idx, err := n.rg.AddNode(graph.NodeID(p.lo))
+		if err != nil {
+			return err
+		}
+		ia = idx
+		n.rindex[p.lo] = ia
+	}
+	if !haveB {
+		idx, err := n.rg.AddNode(graph.NodeID(p.hi))
+		if err != nil {
+			return err
+		}
+		ib = idx
+		n.rindex[p.hi] = ib
+	}
+	if e, exists := n.rg.EdgeBetween(ia, ib); exists {
+		ws, err := n.rg.Weights(channel)
+		if err != nil {
+			return err
+		}
+		if ws[e] != w {
+			if err := n.rg.SetWeight(channel, e, w); err != nil {
+				return err
+			}
+			if n.rspf != nil {
+				n.rspf.Touch(ia, ib)
+			}
+		}
+		return nil
+	}
+	e, err := n.rg.AddEdge(ia, ib)
+	if err != nil {
+		return err
+	}
+	if err := n.rg.SetWeight(channel, e, w); err != nil {
+		return err
+	}
+	if n.rspf != nil {
+		n.rspf.Touch(ia, ib)
+	}
+	return nil
+}
+
+// incrementalRoutes reconciles the dirty pairs into the routing graph,
+// repairs the incremental SPF and extracts a fresh routing-table snapshot.
+// Callers must have run expire(now) first.
+func (n *Node) incrementalRoutes() (*Routes, error) {
+	channel := n.cfg.Metric.Name()
+	if n.rg == nil {
+		g, err := graph.NewWithIDs([]graph.NodeID{graph.NodeID(n.ID)})
+		if err != nil {
+			return nil, err
+		}
+		n.rg = g
+		n.rindex = map[int64]int32{n.ID: 0}
+	}
+	if len(n.dirty) > 0 {
+		pairs := n.pairBuf[:0]
+		for p := range n.dirty {
+			pairs = append(pairs, p)
+		}
+		clear(n.dirty)
+		// Process in sorted order so node append order (hence index
+		// assignment) is a pure function of the protocol state, not of map
+		// iteration.
+		slices.SortFunc(pairs, func(a, b pairKey) int {
+			if a.lo != b.lo {
+				return cmp.Compare(a.lo, b.lo)
+			}
+			return cmp.Compare(a.hi, b.hi)
+		})
+		for _, p := range pairs {
+			if err := n.applyPair(p, channel); err != nil {
+				return nil, err
+			}
+		}
+		n.pairBuf = pairs[:0]
+	}
+	r := &Routes{}
+	if n.rspf == nil {
+		if n.rg.M() == 0 {
+			return r, nil
+		}
+		spf, err := graph.NewSPF(n.rg, n.cfg.Metric, channel, n.rindex[n.ID])
+		if err != nil {
+			return nil, err
+		}
+		n.rspf = spf
+	} else if err := n.rspf.Repair(); err != nil {
+		return nil, err
+	}
+	// The permutation of indices in ascending NodeID order only changes when
+	// nodes are appended.
+	if len(n.perm) != n.rg.N() {
+		n.perm = n.perm[:0]
+		for i := 0; i < n.rg.N(); i++ {
+			n.perm = append(n.perm, int32(i))
+		}
+		slices.SortFunc(n.perm, func(a, b int32) int { return cmp.Compare(n.rg.ID(a), n.rg.ID(b)) })
+	}
+	n.rfirst = n.rspf.FirstHops(n.rfirst)
+	self := n.rindex[n.ID]
+	for _, x := range n.perm {
+		if x == self || !n.rspf.Reachable(x) {
+			continue
+		}
+		r.dsts = append(r.dsts, int64(n.rg.ID(x)))
+		r.routes = append(r.routes, Route{
+			NextHop: int64(n.rg.ID(n.rfirst[x])),
+			Value:   n.rspf.Value(x),
+			Hops:    int(n.rspf.Hops(x)),
+		})
+	}
+	return r, nil
+}
+
+// routesIdentical reports whether two routing tables carry identical content.
+func routesIdentical(a, b *Routes) bool {
+	if len(a.dsts) != len(b.dsts) {
+		return false
+	}
+	for i := range a.dsts {
+		if a.dsts[i] != b.dsts[i] || a.routes[i] != b.routes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// crossCheckRoutes validates an incremental table against a from-scratch
+// rebuild (Config.RouteCrossCheck, the test mode).
+func (n *Node) crossCheckRoutes(inc *Routes) error {
+	full, err := n.fullRoutes()
+	if err != nil {
+		return err
+	}
+	if !routesIdentical(inc, full) {
+		return fmt.Errorf("olsr: incremental routing table diverged from full rebuild:\nincremental: %v\nfull:        %v",
+			inc.Table(), full.Table())
+	}
+	return nil
+}

@@ -1,9 +1,10 @@
 package olsr
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"qolsr/internal/core"
@@ -46,6 +47,12 @@ type Config struct {
 	// daemon uses this to drive weights from real round-trip timing — the
 	// protocol machinery must not overwrite a measurement it cannot make.
 	ExternalLinkSensing bool
+	// RouteCrossCheck is the incremental engine's validation mode, meant
+	// for tests: every routing table produced by the incremental repair is
+	// compared against a from-scratch rebuild and Routes errors on any
+	// divergence. It turns every table rebuild into a full one — do not
+	// enable it outside tests.
+	RouteCrossCheck bool
 }
 
 // DefaultConfig returns RFC-style timers with FNBP selection under the given
@@ -68,20 +75,31 @@ type linkEntry struct {
 }
 
 type neighborTable struct {
-	links   map[int64]float64 // the neighbor's own links, from its HELLO
-	mprs    map[int64]bool    // neighbors the neighbor selected as MPR
+	links map[int64]float64 // the neighbor's own links, from its HELLO
+	// adv is the advertisement the table was built from, retained for the
+	// re-announcement fast path: emitters publish replace-on-change link
+	// blocks (never mutated after emission), so one slices.Equal against
+	// the latest message detects the steady state without a map probe per
+	// link.
+	adv     []LinkInfo
 	expires time.Duration
 }
 
 type topoEntry struct {
 	ansn    uint16
 	links   map[int64]float64
+	adv     []LinkInfo // see neighborTable.adv
 	expires time.Duration
 }
 
-type dupKey struct {
-	origin int64
-	seq    uint16
+// dupSeq is one duplicate-suppression entry: a TC sequence number seen from
+// an origin, live until expires. Liveness is checked lazily at probe time —
+// under the node's monotone event clock that is exactly the eager-drain
+// semantics (an entry is a duplicate iff expires > now), with no expiry
+// bookkeeping on the flooding hot path.
+type dupSeq struct {
+	seq     uint16
+	expires time.Duration
 }
 
 // Route is one routing-table entry.
@@ -121,8 +139,14 @@ type Node struct {
 	neighbors map[int64]neighborTable
 	// topology holds TC-learned advertised links per origin.
 	topology map[int64]topoEntry
-	// dups suppresses re-flooding (origin, seq) pairs.
-	dups map[dupKey]time.Duration
+	// dups suppresses re-flooding (origin, seq) pairs, held per origin: a
+	// probe is one small-int-keyed map access plus a scan of the origin's
+	// few live entries (about hold-time/TC-interval of them), and expired
+	// slots are recycled in place during that same scan. Dup entries are
+	// the one soft-state category whose deadlines are all distinct (every
+	// flooded message makes one), so keeping them out of the global
+	// watermark is what keeps expire O(1) on the per-packet path.
+	dups map[int64][]dupSeq
 	// lq holds the per-neighbor HELLO delivery estimators (MeasuredQoS
 	// link sensing; nil in oracle mode).
 	lq map[int64]*lqEstimator
@@ -130,6 +154,16 @@ type Node struct {
 	helloSeq uint16
 	tcSeq    uint16
 	ansn     uint16
+
+	// Cached emission link blocks (rebuilt when nhVersion moves): the
+	// converged network emits the same HELLO/TC content every period, so
+	// the sorted link collection is built once per content change and the
+	// slice is shared read-only with every message until then. Rebuilds
+	// allocate fresh slices — receivers retain the old ones.
+	helloAt  uint64
+	helloAdv []LinkInfo
+	tcAt     uint64
+	tcAdv    []LinkInfo
 
 	mprSet    []int64
 	ansSet    []int64
@@ -168,6 +202,18 @@ type Node struct {
 	build       buildScratch
 	sp          graph.Scratch
 	first, hops []int32
+
+	// Incremental routing state (see incremental.go): the dirty pair set
+	// accumulated by the handlers, the long-lived routing graph with its
+	// id-to-index map and incremental SPF solution, the ascending-ID index
+	// permutation for table extraction, and reusable scratch.
+	dirty   map[pairKey]struct{}
+	rg      *graph.Graph
+	rindex  map[int64]int32
+	rspf    *graph.SPF
+	perm    []int32
+	rfirst  []int32
+	pairBuf []pairKey
 }
 
 // NewNode returns a node with the given identity and configuration.
@@ -196,7 +242,7 @@ func NewNode(id int64, cfg Config) (*Node, error) {
 		links:      make(map[int64]linkEntry),
 		neighbors:  make(map[int64]neighborTable),
 		topology:   make(map[int64]topoEntry),
-		dups:       make(map[dupKey]time.Duration),
+		dups:       make(map[int64][]dupSeq),
 		selectors:  make(map[int64]time.Duration),
 		nextExpiry: noExpiry,
 	}, nil
@@ -232,27 +278,48 @@ func (n *Node) track(deadline time.Duration) {
 // refresh at an unchanged weight only extends the validity deadline and
 // leaves the cached derivations intact.
 func (n *Node) UpdateLink(neighbor int64, weight float64, now time.Duration) {
+	if neighbor == n.ID {
+		return // no self-links
+	}
 	e := linkEntry{weight: weight, expires: now + n.cfg.NeighborHoldTime}
 	old, ok := n.links[neighbor]
 	n.links[neighbor] = e
 	n.track(e.expires)
 	if !ok || old.weight != weight {
 		n.touchNeighborhood()
+		n.markPair(n.ID, neighbor)
+	}
+	if !ok {
+		// The neighbor became direct: its HELLO-advertised links are now
+		// eligible as routing edges.
+		n.markNeighborPairs(neighbor)
 	}
 }
 
 // expire drops stale state. It is O(1) while the current time is before the
 // earliest tracked deadline; past it, one scan drops everything stale and
-// re-derives the watermark from the survivors.
+// re-derives the watermark from the survivors. Duplicate-set entries are
+// expired lazily at probe time and never scanned here. This wrapper is one
+// compare on the converged path — it runs on every handler and every
+// routing lookup, so it must inline.
 func (n *Node) expire(now time.Duration) {
-	if now < n.nextExpiry {
-		return
+	if now >= n.nextExpiry {
+		n.expireScan(now)
 	}
+}
+
+// expireScan is expire's slow path: one scan over the deadline-carrying
+// state maps, dropping everything stale and re-deriving the watermark.
+func (n *Node) expireScan(now time.Duration) {
 	next := noExpiry
 	for id, l := range n.links {
 		if l.expires <= now {
 			delete(n.links, id)
 			n.touchNeighborhood()
+			n.markPair(n.ID, id)
+			// The neighbor stopped being direct: its HELLO-advertised
+			// links lose routing-edge eligibility.
+			n.markNeighborPairs(id)
 		} else if l.expires < next {
 			next = l.expires
 		}
@@ -261,6 +328,9 @@ func (n *Node) expire(now time.Duration) {
 		if t.expires <= now {
 			delete(n.neighbors, id)
 			n.touchNeighborhood()
+			for peer := range t.links {
+				n.markPair(id, peer)
+			}
 		} else if t.expires < next {
 			next = t.expires
 		}
@@ -269,6 +339,9 @@ func (n *Node) expire(now time.Duration) {
 		if t.expires <= now {
 			delete(n.topology, id)
 			n.touchTopology()
+			for peer := range t.links {
+				n.markPair(id, peer)
+			}
 		} else if t.expires < next {
 			next = t.expires
 		}
@@ -276,13 +349,6 @@ func (n *Node) expire(now time.Duration) {
 	for id, e := range n.selectors {
 		if e <= now {
 			delete(n.selectors, id)
-		} else if e < next {
-			next = e
-		}
-	}
-	for k, e := range n.dups {
-		if e <= now {
-			delete(n.dups, k)
 		} else if e < next {
 			next = e
 		}
@@ -304,13 +370,19 @@ func (n *Node) expire(now time.Duration) {
 func (n *Node) GenerateHello(now time.Duration) *Hello {
 	n.expire(now)
 	n.recompute()
-	h := &Hello{Origin: n.ID, Seq: n.helloSeq}
-	n.helloSeq++
-	for id, l := range n.links {
-		h.Links = append(h.Links, LinkInfo{Neighbor: id, Weight: l.weight})
+	if n.helloAdv == nil || n.helloAt != n.nhVersion {
+		n.helloAt = n.nhVersion
+		adv := make([]LinkInfo, 0, len(n.links))
+		for id, l := range n.links {
+			adv = append(adv, LinkInfo{Neighbor: id, Weight: l.weight})
+		}
+		slices.SortFunc(adv, func(a, b LinkInfo) int { return cmp.Compare(a.Neighbor, b.Neighbor) })
+		n.helloAdv = adv
 	}
-	sort.Slice(h.Links, func(i, j int) bool { return h.Links[i].Neighbor < h.Links[j].Neighbor })
-	h.MPRs = append(h.MPRs, n.mprSet...)
+	// The link block and MPR set are shared read-only (both replaced, never
+	// mutated, on content change).
+	h := &Hello{Origin: n.ID, Seq: n.helloSeq, Links: n.helloAdv, MPRs: n.mprSet}
+	n.helloSeq++
 	if n.cfg.MeasuredQoS {
 		// Report the raw forward delivery ratio per heard neighbor so
 		// receivers can form the bidirectional estimate (sorted: the
@@ -326,6 +398,9 @@ func (n *Node) GenerateHello(now time.Duration) *Hello {
 // neighbor's known link set only refreshes deadlines; one that changes it
 // invalidates the cached derivations.
 func (n *Node) HandleHello(h *Hello, now time.Duration) {
+	if h.Origin == n.ID {
+		return // discard own messages (RFC 3626 looped-back traffic)
+	}
 	n.expire(now)
 	switch {
 	case n.cfg.ExternalLinkSensing:
@@ -347,16 +422,7 @@ func (n *Node) HandleHello(h *Hello, now time.Duration) {
 			}
 		}
 	}
-	tbl := neighborTable{
-		links:   make(map[int64]float64, len(h.Links)),
-		mprs:    make(map[int64]bool, len(h.MPRs)),
-		expires: now + n.cfg.NeighborHoldTime,
-	}
-	for _, l := range h.Links {
-		tbl.links[l.Neighbor] = l.Weight
-	}
 	for _, m := range h.MPRs {
-		tbl.mprs[m] = true
 		if m == n.ID {
 			deadline := now + n.cfg.NeighborHoldTime
 			n.selectors[h.Origin] = deadline
@@ -364,13 +430,31 @@ func (n *Node) HandleHello(h *Hello, now time.Duration) {
 		}
 	}
 	old, known := n.neighbors[h.Origin]
+	// The steady-state HELLO re-announces an unchanged link block (the
+	// retained adv slice compares equal): refresh the deadline on the
+	// existing table without building a new one. Only the advertised links
+	// feed the derived state, so equal content means every cached artifact
+	// stays valid. An equal-content message with a differently ordered
+	// block merely takes the slow path and rebuilds to identical state.
+	if known && slices.Equal(old.adv, h.Links) {
+		old.expires = now + n.cfg.NeighborHoldTime
+		n.neighbors[h.Origin] = old
+		n.track(old.expires)
+		return
+	}
+	tbl := neighborTable{
+		links:   make(map[int64]float64, len(h.Links)),
+		adv:     h.Links,
+		expires: now + n.cfg.NeighborHoldTime,
+	}
+	for _, l := range h.Links {
+		tbl.links[l.Neighbor] = l.Weight
+	}
 	n.neighbors[h.Origin] = tbl
 	n.track(tbl.expires)
-	// Only the advertised links feed the derived state (the mpr list is
-	// consumed above, for selector tracking): equal content means every
-	// cached artifact stays valid.
 	if !known || !equalLinkMaps(old.links, tbl.links) {
 		n.touchNeighborhood()
+		n.markLinkMapDiff(h.Origin, old.links, tbl.links)
 	}
 }
 
@@ -383,13 +467,18 @@ func (n *Node) GenerateTC(now time.Duration) *TC {
 	if len(n.ansSet) == 0 {
 		return nil
 	}
-	t := &TC{Origin: n.ID, Seq: n.tcSeq, ANSN: n.ansn}
-	n.tcSeq++
-	for _, id := range n.ansSet {
-		if l, ok := n.links[id]; ok {
-			t.Links = append(t.Links, LinkInfo{Neighbor: id, Weight: l.weight})
+	if n.tcAdv == nil || n.tcAt != n.nhVersion {
+		n.tcAt = n.nhVersion
+		adv := make([]LinkInfo, 0, len(n.ansSet))
+		for _, id := range n.ansSet {
+			if l, ok := n.links[id]; ok {
+				adv = append(adv, LinkInfo{Neighbor: id, Weight: l.weight})
+			}
 		}
+		n.tcAdv = adv
 	}
+	t := &TC{Origin: n.ID, Seq: n.tcSeq, ANSN: n.ansn, Links: n.tcAdv}
+	n.tcSeq++
 	return t
 }
 
@@ -399,21 +488,46 @@ func (n *Node) GenerateTC(now time.Duration) *TC {
 // re-advertises an origin's known link set only refreshes its deadline.
 func (n *Node) HandleTC(t *TC, sender int64, now time.Duration) (forward bool) {
 	n.expire(now)
-	key := dupKey{origin: t.Origin, seq: t.Seq}
-	if _, dup := n.dups[key]; dup {
-		return false
+	// Duplicate suppression: scan the origin's window, recycling the first
+	// expired slot for the new entry.
+	row := n.dups[t.Origin]
+	slot := -1
+	for i := range row {
+		if row[i].expires <= now {
+			if slot < 0 {
+				slot = i
+			}
+			continue
+		}
+		if row[i].seq == t.Seq {
+			return false
+		}
 	}
-	dupDeadline := now + n.cfg.TopologyHoldTime
-	n.dups[key] = dupDeadline
-	n.track(dupDeadline)
+	if slot >= 0 {
+		row[slot] = dupSeq{seq: t.Seq, expires: now + n.cfg.TopologyHoldTime}
+	} else {
+		n.dups[t.Origin] = append(row, dupSeq{seq: t.Seq, expires: now + n.cfg.TopologyHoldTime})
+	}
 	if t.Origin != n.ID {
 		cur, ok := n.topology[t.Origin]
 		// Accept unless stale (ANSN regression within the validity
 		// window).
-		if !ok || !ansnNewer(cur.ansn, t.ANSN) {
+		switch {
+		case ok && ansnNewer(cur.ansn, t.ANSN):
+			// Stale: ignore.
+		case ok && slices.Equal(cur.adv, t.Links):
+			// The steady-state TC re-advertises an unchanged link block:
+			// refresh the entry in place, no rebuild and no cache
+			// invalidation.
+			cur.ansn = t.ANSN
+			cur.expires = now + n.cfg.TopologyHoldTime
+			n.topology[t.Origin] = cur
+			n.track(cur.expires)
+		default:
 			entry := topoEntry{
 				ansn:    t.ANSN,
 				links:   make(map[int64]float64, len(t.Links)),
+				adv:     t.Links,
 				expires: now + n.cfg.TopologyHoldTime,
 			}
 			for _, l := range t.Links {
@@ -423,6 +537,7 @@ func (n *Node) HandleTC(t *TC, sender int64, now time.Duration) (forward bool) {
 			n.track(entry.expires)
 			if !ok || !equalLinkMaps(cur.links, entry.links) {
 				n.touchTopology()
+				n.markLinkMapDiff(t.Origin, cur.links, entry.links)
 			}
 		}
 	}
@@ -509,7 +624,7 @@ func sortedKeys[V any](m map[int64]V) []int64 {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	return keys
 }
 
@@ -545,7 +660,7 @@ func (b *buildScratch) materialise() (*graph.Graph, error) {
 	for id := range b.idset {
 		b.ids = append(b.ids, graph.NodeID(id))
 	}
-	sort.Slice(b.ids, func(i, j int) bool { return b.ids[i] < b.ids[j] })
+	slices.Sort(b.ids)
 	g, err := graph.NewWithIDs(b.ids)
 	if err != nil {
 		return nil, err
@@ -659,7 +774,7 @@ func (n *Node) Selectors(now time.Duration) []int64 {
 	for id := range n.selectors {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -721,18 +836,43 @@ func (n *Node) buildKnownTopology() (*graph.Graph, error) {
 }
 
 // Routes returns the node's current routing table: QoS routes to every known
-// destination, a QoS-metric Dijkstra over the known topology with the next
-// hop being the first node of the best path.
+// destination over the known topology under the node's metric, with the next
+// hop being the first node of the canonical best path.
 //
 // The table is a cached artifact rebuilt only when the protocol state
 // changed (by message content or expiry) since the last call: the common
 // data-plane case — many lookups against an unchanged topology — returns the
-// same read-only snapshot without recomputing or allocating anything.
+// same read-only snapshot without recomputing or allocating anything. When
+// the state did change, the table is repaired incrementally: the handlers
+// record which node pairs a change touched, and the rebuild re-resolves only
+// those against the state maps and repairs the affected region of the cached
+// shortest-path solution (see incremental.go), instead of rebuilding graph
+// and search from scratch. Both paths produce bit-identical tables
+// (Config.RouteCrossCheck asserts it).
 func (n *Node) Routes(now time.Duration) (*Routes, error) {
 	n.expire(now)
 	if n.routes != nil && n.routesAt == n.topoVersion {
 		return n.routes, nil
 	}
+	r, err := n.incrementalRoutes()
+	if err != nil {
+		return nil, err
+	}
+	if n.cfg.RouteCrossCheck {
+		if err := n.crossCheckRoutes(r); err != nil {
+			return nil, err
+		}
+	}
+	n.routes = r
+	n.routesAt = n.topoVersion
+	return r, nil
+}
+
+// fullRoutes computes the routing table from scratch: materialise the known
+// topology and run one canonical Dijkstra over it. It is the reference the
+// incremental engine is checked against (and the original implementation of
+// Routes). Callers must have run expire(now) first.
+func (n *Node) fullRoutes() (*Routes, error) {
 	g, err := n.knownTopology()
 	if err != nil {
 		return nil, err
@@ -764,7 +904,5 @@ func (n *Node) Routes(now time.Duration) (*Routes, error) {
 			}
 		}
 	}
-	n.routes = r
-	n.routesAt = n.topoVersion
 	return r, nil
 }

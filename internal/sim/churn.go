@@ -17,6 +17,7 @@ func (nw *Network) FailLink(a, b int32) error {
 		nw.down = make(map[[2]int32]bool)
 	}
 	nw.down[linkKey(a, b)] = true
+	nw.linkGen++
 	return nil
 }
 
@@ -26,6 +27,7 @@ func (nw *Network) RestoreLink(a, b int32) error {
 		return err
 	}
 	delete(nw.down, linkKey(a, b))
+	nw.linkGen++
 	return nil
 }
 
@@ -48,10 +50,16 @@ func (nw *Network) CheckLink(a, b int32) error {
 // links of the current topology would leave such pairs down forever.)
 func (nw *Network) RestoreAllLinks() {
 	nw.down = nil
+	nw.linkGen++
 }
 
-// LinkUp reports whether the physical link {a,b} is currently usable.
+// LinkUp reports whether the physical link {a,b} is currently usable. The
+// no-churn fast path skips hashing into the (empty or nil) down set — the
+// check runs once per receiver of every frame.
 func (nw *Network) LinkUp(a, b int32) bool {
+	if len(nw.down) == 0 {
+		return true
+	}
 	return !nw.down[linkKey(a, b)]
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"qolsr/internal/graph"
+	"qolsr/internal/olsr"
 )
 
 // DataStats accounts data-plane traffic injected with SendData.
@@ -32,6 +33,31 @@ const DefaultDataTTL = 64
 // serializes and draws loss for.
 const DataPacketBytes = 512
 
+// DataSink receives packet completions on the allocation-free data path:
+// one interface dispatch per packet instead of one closure per packet. The
+// cookie is whatever the sender passed to SendDataTo — traffic generators
+// encode the flow identity and packet size in it.
+type DataSink interface {
+	PacketDone(cookie uint64, delivered bool, hops int, latency time.Duration)
+}
+
+// dataPacket is one in-flight data packet: a pooled event that re-fires at
+// each hop arrival.
+type dataPacket struct {
+	nw     *Network
+	at     int32
+	dst    int32
+	ttl    int32
+	size   int32
+	start  time.Duration
+	sink   DataSink
+	cookie uint64
+	done   func(delivered bool, hops int, latency time.Duration)
+}
+
+// Fire implements des.Event: the packet arrived at its next hop.
+func (p *dataPacket) Fire(time.Duration) { p.nw.stepData(p) }
+
 // SendData injects one data packet of the nominal probe size. See
 // SendDataSized.
 func (nw *Network) SendData(src, dst int32, done func(delivered bool, hops int, latency time.Duration)) {
@@ -45,81 +71,159 @@ func (nw *Network) SendData(src, dst int32, done func(delivered bool, hops int, 
 // off by TTL). The size feeds the medium's per-hop planning, so on a queued
 // radio larger packets occupy the sender's transmitter for longer and
 // sustained flows contend for it. done, when non-nil, is invoked at delivery
-// or drop time.
+// or drop time. (The closure is the convenient probe API; sustained traffic
+// uses SendDataTo, which completes through a shared sink with no per-packet
+// allocation.)
 func (nw *Network) SendDataSized(src, dst int32, size int, done func(delivered bool, hops int, latency time.Duration)) {
+	p := nw.newPacket(src, dst, size)
+	p.done = done
+	nw.stepData(p)
+}
+
+// SendDataTo injects one data packet like SendDataSized, but completes it
+// through sink.PacketDone(cookie, ...) — the allocation-free path for
+// sustained flows.
+func (nw *Network) SendDataTo(src, dst int32, size int, sink DataSink, cookie uint64) {
+	p := nw.newPacket(src, dst, size)
+	p.sink = sink
+	p.cookie = cookie
+	nw.stepData(p)
+}
+
+func (nw *Network) newPacket(src, dst int32, size int) *dataPacket {
 	nw.Data.Sent++
-	start := nw.Engine.Now()
-	var hop func(at int32, ttl int)
-	hop = func(at int32, ttl int) {
-		if at == dst {
-			nw.Data.Delivered++
-			hops := DefaultDataTTL - ttl
-			nw.Data.HopsTotal += uint64(hops)
-			nw.Data.LatencyTotal += nw.Engine.Now() - start
-			if done != nil {
-				done(true, hops, nw.Engine.Now()-start)
-			}
-			return
-		}
-		if ttl <= 0 {
-			nw.Data.Expired++
-			if done != nil {
-				done(false, 0, 0)
-			}
-			return
-		}
-		routes, err := nw.Nodes[at].Routes(nw.Engine.Now())
-		if err != nil {
-			nw.Data.NoRoute++
-			if done != nil {
-				done(false, 0, 0)
-			}
-			return
-		}
-		route, ok := routes.Lookup(int64(nw.Phys.ID(dst)))
-		if !ok {
-			nw.Data.NoRoute++
-			if done != nil {
-				done(false, 0, 0)
-			}
-			return
-		}
-		next, ok := nw.indexOf[route.NextHop]
-		if !ok {
-			// A next hop outside the network's index (stale state
-			// naming a node that never existed here) is a routing
-			// failure, not an accidental alias of index 0.
-			nw.Data.NoRoute++
-			if done != nil {
-				done(false, 0, 0)
-			}
-			return
-		}
-		// The unicast hop uses the physical link; if it is gone (united
-		// with mobility/churn) the packet is lost at this hop unless the
-		// next table refresh learns better.
-		if _, exists := nw.Phys.EdgeBetween(at, next); !exists || !nw.LinkUp(at, next) {
-			nw.Data.NoRoute++
-			if done != nil {
-				done(false, 0, 0)
-			}
-			return
-		}
-		// The medium plans the unicast like any other frame: a lossy
-		// radio may drop it in flight or delay it behind the sender's
-		// transmit queue.
-		one := [1]int32{next}
-		plan := nw.medium.PlanFrame(at, one[:], size, nw.Engine.Now())
-		if len(plan) == 0 {
-			nw.Data.Lost++
-			if done != nil {
-				done(false, 0, 0)
-			}
-			return
-		}
-		nw.Engine.After(plan[0].Delay, func() { hop(next, ttl-1) })
+	var p *dataPacket
+	if n := len(nw.pktPool); n > 0 {
+		p = nw.pktPool[n-1]
+		nw.pktPool = nw.pktPool[:n-1]
+	} else {
+		p = &dataPacket{nw: nw}
 	}
-	hop(src, DefaultDataTTL)
+	p.at = src
+	p.dst = dst
+	p.ttl = DefaultDataTTL
+	p.size = int32(size)
+	p.start = nw.Engine.Now()
+	p.sink = nil
+	p.cookie = 0
+	p.done = nil
+	return p
+}
+
+// finishData completes a packet (delivery or drop) and recycles it.
+func (nw *Network) finishData(p *dataPacket, delivered bool, hops int, latency time.Duration) {
+	sink, cookie, done := p.sink, p.cookie, p.done
+	p.sink, p.done = nil, nil
+	nw.pktPool = append(nw.pktPool, p)
+	switch {
+	case sink != nil:
+		sink.PacketDone(cookie, delivered, hops, latency)
+	case done != nil:
+		done(delivered, hops, latency)
+	}
+}
+
+// stepData advances a packet one hop: deliver, drop, or forward to the next
+// hop's routing decision. Zero-delay hops (an ideal medium with zero
+// propagation delay) forward synchronously in the loop instead of
+// round-tripping through the event queue — virtual time cannot advance
+// across them, so only the intra-timestamp interleaving with other
+// same-instant events changes, and the data plane mutates no protocol
+// state such events could observe.
+func (nw *Network) stepData(p *dataPacket) {
+again:
+	if p.at == p.dst {
+		nw.Data.Delivered++
+		hops := int(DefaultDataTTL - p.ttl)
+		latency := nw.Engine.Now() - p.start
+		nw.Data.HopsTotal += uint64(hops)
+		nw.Data.LatencyTotal += latency
+		nw.finishData(p, true, hops, latency)
+		return
+	}
+	if p.ttl <= 0 {
+		nw.Data.Expired++
+		nw.finishData(p, false, 0, 0)
+		return
+	}
+	routes, err := nw.Nodes[p.at].Routes(nw.Engine.Now())
+	if err != nil {
+		nw.Data.NoRoute++
+		nw.finishData(p, false, 0, 0)
+		return
+	}
+	// Forwarding decisions are pure functions of (table snapshot, physical
+	// link state), so they are cached per (node, destination) and a
+	// sustained flow pays the lookup chain once per table rebuild, not once
+	// per packet.
+	if nw.fwd == nil {
+		nw.fwd = make([][]fwdEntry, len(nw.Nodes))
+	}
+	row := nw.fwd[p.at]
+	if row == nil {
+		row = make([]fwdEntry, nw.Phys.N())
+		nw.fwd[p.at] = row
+	}
+	fe := &row[p.dst]
+	if fe.routes != routes || fe.gen != nw.linkGen {
+		fe.routes = routes
+		fe.gen = nw.linkGen
+		fe.next, fe.ok = nw.resolveNext(p.at, p.dst, routes)
+	}
+	if !fe.ok {
+		nw.Data.NoRoute++
+		nw.finishData(p, false, 0, 0)
+		return
+	}
+	next := fe.next
+	// The medium plans the unicast like any other frame: a lossy radio may
+	// drop it in flight or delay it behind the sender's transmit queue.
+	// The ideal medium's plan is a constant (deliver after idealHop, no
+	// medium state), so it skips the call.
+	if d := nw.idealHop; d != 0 {
+		p.at = next
+		p.ttl--
+		nw.Engine.Queue.AfterFixed(d, p)
+		return
+	}
+	nw.unicast[0] = next
+	plan := nw.medium.PlanFrame(p.at, nw.unicast[:], int(p.size), nw.Engine.Now())
+	if len(plan) == 0 {
+		nw.Data.Lost++
+		nw.finishData(p, false, 0, 0)
+		return
+	}
+	p.at = next
+	p.ttl--
+	if plan[0].Delay == 0 {
+		goto again
+	}
+	nw.Engine.Queue.After(plan[0].Delay, p)
+}
+
+// resolveNext resolves the next hop for traffic at node `at` addressed to
+// `dst` under the given table snapshot: table lookup, next-hop index
+// resolution, and the physical-link check. False means the packet has no
+// usable route at this hop.
+func (nw *Network) resolveNext(at, dst int32, routes *olsr.Routes) (int32, bool) {
+	route, ok := routes.Lookup(int64(nw.Phys.ID(dst)))
+	if !ok {
+		return 0, false
+	}
+	next, ok := nw.indexOf[route.NextHop]
+	if !ok {
+		// A next hop outside the network's index (stale state naming a
+		// node that never existed here) is a routing failure, not an
+		// accidental alias of index 0.
+		return 0, false
+	}
+	// The unicast hop uses the physical link; if it is gone (united with
+	// mobility/churn) the packet is lost at this hop unless the next table
+	// refresh learns better.
+	if _, exists := nw.Phys.EdgeBetween(at, next); !exists || !nw.LinkUp(at, next) {
+		return 0, false
+	}
+	return next, true
 }
 
 // DeliverySweep sends one packet from every node to dst at the current

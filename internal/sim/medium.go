@@ -172,6 +172,19 @@ type LossyMedium struct {
 	bw      []float64
 	bwGraph *graph.Graph
 
+	// Per-edge caches of the effective PER and the serialization rate
+	// (bytes/s) — the two per-receiver figures PlanFrame needs that are
+	// pure functions of (config, geometry, graph). lossGen is bumped by
+	// every knob that feeds them; the caches re-derive when it or the
+	// graph pointer moves. Values are identical to the uncached
+	// computation, so the keyed draws (and with them every golden) are
+	// untouched.
+	lossGen  uint64
+	cacheGen uint64
+	cacheG   *graph.Graph
+	perEdge  []float64
+	serEdge  []float64
+
 	hops []Hop
 }
 
@@ -208,12 +221,14 @@ func (m *LossyMedium) HopDelayBound() time.Duration {
 // action). Values are clamped to [0, maxPER].
 func (m *LossyMedium) SetBaseLoss(p float64) {
 	m.cfg.Loss = clampPER(p)
+	m.lossGen++
 }
 
 // SetLinkLoss overrides the packet-error rate of the physical link {a, b}
 // in both directions, replacing the base rate for that link (the
 // DegradeLink scenario action). A negative rate clears the override.
 func (m *LossyMedium) SetLinkLoss(a, b int32, p float64) {
+	m.lossGen++
 	if p < 0 {
 		delete(m.linkLoss, linkKey(a, b))
 		return
@@ -232,6 +247,7 @@ func (m *LossyMedium) SetLinkLoss(a, b int32, p float64) {
 func (m *LossyMedium) SetGeometry(pts []geom.Point, radius float64) {
 	m.pts = pts
 	m.radius = radius
+	m.lossGen++
 }
 
 // BaseLoss returns the current base packet-error rate.
@@ -242,8 +258,10 @@ func (m *LossyMedium) BaseLoss() float64 { return m.cfg.Loss }
 // component when geometry is known.
 func (m *LossyMedium) LinkPER(a, b int32) float64 {
 	per := m.cfg.Loss
-	if p, ok := m.linkLoss[linkKey(a, b)]; ok {
-		per = p
+	if len(m.linkLoss) != 0 {
+		if p, ok := m.linkLoss[linkKey(a, b)]; ok {
+			per = p
+		}
 	}
 	if m.cfg.DistanceLoss > 0 && m.radius > 0 && int(a) < len(m.pts) && int(b) < len(m.pts) {
 		d := math.Hypot(m.pts[a].X-m.pts[b].X, m.pts[a].Y-m.pts[b].Y)
@@ -262,6 +280,7 @@ func (m *LossyMedium) PlanFrame(src int32, dsts []int32, size int, now time.Dura
 	if len(dsts) == 0 {
 		return m.hops
 	}
+	m.refreshEdgeCaches()
 	seq := m.seq[src]
 	m.seq[src]++
 
@@ -273,11 +292,21 @@ func (m *LossyMedium) PlanFrame(src int32, dsts []int32, size int, now time.Dura
 
 	var maxSer time.Duration
 	for _, dst := range dsts {
-		ser := m.serialization(src, dst, size)
+		var per, rate float64
+		if e, ok := m.nw.Phys.EdgeBetween(src, dst); ok {
+			per = m.perEdge[e]
+			rate = m.serEdge[e]
+		} else {
+			per = m.LinkPER(src, dst)
+			rate = m.cfg.BytesPerSec
+		}
+		// Same expression as the uncached serialization — the float op
+		// sequence must not change, delays are golden-pinned.
+		ser := time.Duration(float64(size) / rate * float64(time.Second))
 		if ser > maxSer {
 			maxSer = ser
 		}
-		if per := m.LinkPER(src, dst); per > 0 {
+		if per > 0 {
 			u := rng.Unit(rng.Mix(m.base, drawLoss, uint64(uint32(src)), uint64(uint32(dst)), seq))
 			if u < per {
 				continue // frame lost on this link
@@ -294,18 +323,32 @@ func (m *LossyMedium) PlanFrame(src int32, dsts []int32, size int, now time.Dura
 	return m.hops
 }
 
-// serialization returns the time the frame occupies the link {src, dst}:
-// size bytes at BytesPerSec scaled by the link's bandwidth-channel weight
-// (weight 1 when the graph carries no bandwidth channel or no such edge).
-func (m *LossyMedium) serialization(src, dst int32, size int) time.Duration {
-	weight := 1.0
-	if w := m.bandwidthWeights(); w != nil {
-		if e, ok := m.nw.Phys.EdgeBetween(src, dst); ok && w[e] > 0 {
+// refreshEdgeCaches re-derives the per-edge PER and serialization-rate
+// caches when any of their inputs moved.
+func (m *LossyMedium) refreshEdgeCaches() {
+	if m.cacheG == m.nw.Phys && m.cacheGen == m.lossGen {
+		return
+	}
+	g := m.nw.Phys
+	m.cacheG = g
+	m.cacheGen = m.lossGen
+	n := g.M()
+	if cap(m.perEdge) < n {
+		m.perEdge = make([]float64, n)
+		m.serEdge = make([]float64, n)
+	}
+	m.perEdge = m.perEdge[:n]
+	m.serEdge = m.serEdge[:n]
+	w := m.bandwidthWeights()
+	for e := 0; e < n; e++ {
+		a, b := g.EdgeEndpoints(e)
+		m.perEdge[e] = m.LinkPER(a, b)
+		weight := 1.0
+		if w != nil && w[e] > 0 {
 			weight = w[e]
 		}
+		m.serEdge[e] = m.cfg.BytesPerSec * weight
 	}
-	secs := float64(size) / (m.cfg.BytesPerSec * weight)
-	return time.Duration(secs * float64(time.Second))
 }
 
 // bandwidthWeights returns the current graph's bandwidth-channel weights

@@ -27,6 +27,7 @@ func (nw *Network) SetTopology(phys *graph.Graph) error {
 		}
 	}
 	nw.Phys = phys
+	nw.linkGen++
 	return nil
 }
 

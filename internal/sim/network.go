@@ -43,6 +43,36 @@ type Network struct {
 	indexOf map[int64]int32
 	down    map[[2]int32]bool // failed physical links (see churn.go)
 	dsts    []int32           // broadcast candidate scratch
+
+	// Hot-path pools: periodic emissions, frame deliveries and data packets
+	// are persistent or recycled des events, so the steady-state event flow
+	// allocates nothing (see doc.go, "Event-driven core").
+	emitters  []emitter
+	framePool []*controlFrame
+	hopPool   []*frameHop
+	pktPool   []*dataPacket
+	unicast   [1]int32 // data-plane next-hop scratch (kept off the heap)
+	// idealHop short-circuits data-plane frame planning on the ideal
+	// medium: its unicast plan is always {next, idealHop} with no medium
+	// state touched, so stepData skips the PlanFrame call. Zero on every
+	// other medium.
+	idealHop time.Duration
+
+	// fwd caches resolved forwarding decisions per (node, destination),
+	// valid while the node's routing-table snapshot pointer and the
+	// physical link generation both stand still — sustained flows resolve
+	// each hop once per table rebuild instead of once per packet. Rows are
+	// allocated lazily, only for nodes that actually forward data.
+	fwd     [][]fwdEntry
+	linkGen uint64 // bumped on every churn/mobility change to Phys or down
+}
+
+// fwdEntry is one cached forwarding decision (see Network.fwd).
+type fwdEntry struct {
+	routes *olsr.Routes
+	gen    uint64
+	next   int32
+	ok     bool
 }
 
 // NetworkOptions tunes the simulation harness.
@@ -90,6 +120,9 @@ func NewNetwork(phys *graph.Graph, cfg olsr.Config, opts NetworkOptions) (*Netwo
 		nw.indexOf[int64(phys.ID(x))] = x
 	}
 	medium.Attach(nw)
+	if im, ok := medium.(*IdealMedium); ok {
+		nw.idealHop = im.prop
+	}
 	return nw, nil
 }
 
@@ -110,16 +143,48 @@ func (nw *Network) MeasuredQoS() bool { return nw.cfg.MeasuredQoS }
 func (nw *Network) HopDelayBound() time.Duration { return nw.medium.HopDelayBound() }
 
 // Start schedules the initial link measurements and the periodic HELLO/TC
-// emissions with per-node jitter, then the network is ready to Run.
+// emissions with per-node jitter, then the network is ready to Run. Each
+// node's two emitters are persistent events rescheduling themselves for the
+// lifetime of the run.
 func (nw *Network) Start() {
+	nw.emitters = make([]emitter, 2*len(nw.Nodes))
 	for i := range nw.Nodes {
-		i := i
 		nw.feedLinks(i)
 		helloJitter := time.Duration(nw.jitter[i].Int63n(int64(nw.cfg.HelloInterval)))
 		tcJitter := nw.cfg.HelloInterval + time.Duration(nw.jitter[i].Int63n(int64(nw.cfg.TCInterval)))
-		nw.Engine.At(helloJitter, func() { nw.emitHello(i) })
-		nw.Engine.At(tcJitter, func() { nw.emitTC(i) })
+		hello := &nw.emitters[2*i]
+		*hello = emitter{nw: nw, node: i, kind: emitHello}
+		tc := &nw.emitters[2*i+1]
+		*tc = emitter{nw: nw, node: i, kind: emitTC}
+		nw.Engine.Queue.At(helloJitter, hello)
+		nw.Engine.Queue.At(tcJitter, tc)
 	}
+}
+
+// emitter is one node's persistent periodic-emission event.
+type emitter struct {
+	nw   *Network
+	node int
+	kind uint8
+}
+
+const (
+	emitHello uint8 = iota
+	emitTC
+)
+
+// Fire implements des.Event: emit, then reschedule with fresh jitter.
+func (em *emitter) Fire(time.Duration) {
+	nw, i := em.nw, em.node
+	var interval time.Duration
+	if em.kind == emitHello {
+		nw.emitHelloNow(i)
+		interval = nw.cfg.HelloInterval
+	} else {
+		nw.emitTCNow(i)
+		interval = nw.cfg.TCInterval
+	}
+	nw.Engine.Queue.After(nw.jittered(i, interval), em)
 }
 
 // Run advances virtual time.
@@ -144,25 +209,27 @@ func (nw *Network) feedLinks(i int) {
 	}
 }
 
-func (nw *Network) emitHello(i int) {
+func (nw *Network) emitHelloNow(i int) {
 	nw.feedLinks(i)
 	h := nw.Nodes[i].GenerateHello(nw.Engine.Now())
 	buf := olsr.MarshalHello(h)
 	nw.Stats.HelloMessages++
 	nw.Stats.HelloBytes += uint64(len(buf))
-	nw.broadcast(int32(i), buf)
-	nw.Engine.After(nw.jittered(i, nw.cfg.HelloInterval), func() { nw.emitHello(i) })
+	// The origin's own struct is the decoded form every receiver handles:
+	// the wire codec is canonical (Unmarshal(Marshal(h)) reproduces h, the
+	// fuzzers pin it), so decoding per receiver would only re-derive what
+	// the sender already holds.
+	nw.broadcastFrame(int32(i), buf, h, nil)
 }
 
-func (nw *Network) emitTC(i int) {
+func (nw *Network) emitTCNow(i int) {
 	if tc := nw.Nodes[i].GenerateTC(nw.Engine.Now()); tc != nil {
 		buf := olsr.MarshalTC(tc)
 		nw.Stats.TCOriginated++
 		nw.Stats.TCMessages++
 		nw.Stats.TCBytes += uint64(len(buf))
-		nw.broadcast(int32(i), buf)
+		nw.broadcastFrame(int32(i), buf, nil, tc)
 	}
-	nw.Engine.After(nw.jittered(i, nw.cfg.TCInterval), func() { nw.emitTC(i) })
 }
 
 // jittered applies ±5% emission jitter (RFC 3626 recommends jitter to avoid
@@ -175,47 +242,137 @@ func (nw *Network) jittered(i int, d time.Duration) time.Duration {
 	return d - time.Duration(span/2) + time.Duration(nw.jitter[i].Int63n(span))
 }
 
-// broadcast hands an encoded message to the medium for delivery to the
-// sender's currently-up physical neighbors: the medium decides who receives
-// the frame and after how long. Failed links carry nothing regardless of
-// the medium.
-func (nw *Network) broadcast(from int32, buf []byte) {
+// controlFrame is one in-flight control broadcast: the encoded bytes (byte
+// accounting, re-broadcast) plus the decoded form shared read-only by every
+// receiver — protocol handlers copy what they keep, so one decoded message
+// serves the whole reception set. Frames are pooled; when every planned
+// delivery has the same latency (the ideal medium) the frame itself is the
+// single delivery event for all receivers.
+type controlFrame struct {
+	nw    *Network
+	from  int32
+	refs  int32
+	buf   []byte
+	hello *olsr.Hello
+	tc    *olsr.TC
+	dsts  []int32
+}
+
+// Fire implements des.Event: deliver the frame to every batched receiver.
+func (f *controlFrame) Fire(time.Duration) {
+	for _, to := range f.dsts {
+		f.nw.deliverFrame(f, to)
+	}
+	f.release()
+}
+
+// frameHop is one planned reception of a frame whose receivers see different
+// latencies (lossy medium): per-receiver events sharing one frame.
+type frameHop struct {
+	f  *controlFrame
+	to int32
+}
+
+// Fire implements des.Event.
+func (h *frameHop) Fire(time.Duration) {
+	f, to := h.f, h.to
+	h.f = nil
+	f.nw.deliverFrame(f, to)
+	f.release()
+	f.nw.hopPool = append(f.nw.hopPool, h)
+}
+
+func (nw *Network) newFrame(from int32, buf []byte, hello *olsr.Hello, tc *olsr.TC) *controlFrame {
+	var f *controlFrame
+	if n := len(nw.framePool); n > 0 {
+		f = nw.framePool[n-1]
+		nw.framePool = nw.framePool[:n-1]
+	} else {
+		f = &controlFrame{nw: nw}
+	}
+	f.from = from
+	f.buf = buf
+	f.hello = hello
+	f.tc = tc
+	f.dsts = f.dsts[:0]
+	return f
+}
+
+// release returns the frame to its pool once every reception fired.
+func (f *controlFrame) release() {
+	f.refs--
+	if f.refs <= 0 {
+		f.buf, f.hello, f.tc = nil, nil, nil
+		f.nw.framePool = append(f.nw.framePool, f)
+	}
+}
+
+// broadcastFrame hands a message (encoded and decoded forms) to the medium
+// for delivery to the sender's currently-up physical neighbors: the medium
+// decides who receives the frame and after how long. Failed links carry
+// nothing regardless of the medium.
+func (nw *Network) broadcastFrame(from int32, buf []byte, hello *olsr.Hello, tc *olsr.TC) {
 	nw.dsts = nw.dsts[:0]
 	for _, arc := range nw.Phys.Arcs(from) {
 		if nw.LinkUp(from, arc.To) {
 			nw.dsts = append(nw.dsts, arc.To)
 		}
 	}
-	for _, hop := range nw.medium.PlanFrame(from, nw.dsts, len(buf), nw.Engine.Now()) {
-		to := hop.Dst
-		nw.Engine.After(hop.Delay, func() { nw.deliver(from, to, buf) })
+	plan := nw.medium.PlanFrame(from, nw.dsts, len(buf), nw.Engine.Now())
+	if len(plan) == 0 {
+		return
+	}
+	uniform := true
+	for _, hop := range plan[1:] {
+		if hop.Delay != plan[0].Delay {
+			uniform = false
+			break
+		}
+	}
+	f := nw.newFrame(from, buf, hello, tc)
+	if uniform {
+		// One pooled event delivers to the whole reception set, in plan
+		// order — the exact order separate equal-time events would run in.
+		for _, hop := range plan {
+			f.dsts = append(f.dsts, hop.Dst)
+		}
+		f.refs = 1
+		// Uniform plans come from constant-latency media, so their
+		// scheduled times are monotone — the scheduler's fixed-delay lane
+		// (which degrades to a heap push if they ever are not).
+		nw.Engine.Queue.AfterFixed(plan[0].Delay, f)
+		return
+	}
+	f.refs = int32(len(plan))
+	for _, hop := range plan {
+		var fh *frameHop
+		if n := len(nw.hopPool); n > 0 {
+			fh = nw.hopPool[n-1]
+			nw.hopPool = nw.hopPool[:n-1]
+		} else {
+			fh = &frameHop{}
+		}
+		fh.f = f
+		fh.to = hop.Dst
+		nw.Engine.Queue.After(hop.Delay, fh)
 	}
 }
 
-func (nw *Network) deliver(from, to int32, buf []byte) {
-	t, err := olsr.PeekType(buf)
-	if err != nil {
-		return
-	}
+// deliverFrame hands one received frame to the receiver's protocol node and
+// applies the MPR forwarding rule for TCs.
+func (nw *Network) deliverFrame(f *controlFrame, to int32) {
 	now := nw.Engine.Now()
 	node := nw.Nodes[to]
-	switch t {
-	case olsr.MsgHello:
-		h, err := olsr.UnmarshalHello(buf)
-		if err != nil {
-			return
-		}
-		node.HandleHello(h, now)
-	case olsr.MsgTC:
-		tc, err := olsr.UnmarshalTC(buf)
-		if err != nil {
-			return
-		}
-		if node.HandleTC(tc, int64(nw.Phys.ID(from)), now) {
-			// MPR forwarding: re-broadcast from this node.
+	switch {
+	case f.hello != nil:
+		node.HandleHello(f.hello, now)
+	case f.tc != nil:
+		if node.HandleTC(f.tc, int64(nw.Phys.ID(f.from)), now) {
+			// MPR forwarding: re-broadcast from this node, reusing the
+			// encoded and decoded forms.
 			nw.Stats.TCMessages++
-			nw.Stats.TCBytes += uint64(len(buf))
-			nw.broadcast(to, buf)
+			nw.Stats.TCBytes += uint64(len(f.buf))
+			nw.broadcastFrame(to, f.buf, nil, f.tc)
 		}
 	}
 }

@@ -1,90 +1,35 @@
 // Package sim is the discrete-event network simulator the protocol stack
-// runs on: an event queue in virtual time and an ideal-MAC radio medium (no
-// interference, no collisions, fixed propagation delay) over a unit-disk
-// physical graph — the paper's simulation model ("our own C simulator that
-// assumes an ideal MAC layer", Sec. IV-A).
+// runs on: a deterministic event core (internal/des) in virtual time and a
+// pluggable radio medium — by default the ideal MAC (no interference, no
+// collisions, fixed propagation delay) over a unit-disk physical graph, the
+// paper's simulation model ("our own C simulator that assumes an ideal MAC
+// layer", Sec. IV-A).
 package sim
 
 import (
-	"container/heap"
 	"time"
+
+	"qolsr/internal/des"
 )
 
-// event is one scheduled callback.
-type event struct {
-	at  time.Duration
-	seq uint64 // FIFO tie-break for equal times: deterministic execution
-	fn  func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
-}
-
-// Engine is a single-threaded discrete-event executor. The zero value is
-// ready to use.
+// Engine is the single-threaded discrete-event executor, a thin veneer over
+// the des scheduler: the closure API below serves low-rate bookkeeping
+// (phases, harness callbacks), while hot subsystems schedule pooled or
+// persistent des.Events directly on the embedded Queue. Both run in the
+// same (time, priority, seq) total order. The zero value is ready to use.
 type Engine struct {
-	now    time.Duration
-	nextID uint64
-	queue  eventQueue
-	// Executed counts processed events.
-	Executed uint64
+	des.Queue
 }
 
-// Now returns the current virtual time.
-func (e *Engine) Now() time.Duration { return e.now }
+// Now, Run, Pending and the Executed counter are promoted from des.Queue.
 
 // At schedules fn at absolute virtual time t (clamped to now for past
 // times). Events at equal times run in scheduling order.
 func (e *Engine) At(t time.Duration, fn func()) {
-	if t < e.now {
-		t = e.now
-	}
-	e.nextID++
-	heap.Push(&e.queue, &event{at: t, seq: e.nextID, fn: fn})
+	e.Queue.At(t, des.Func(fn))
 }
 
 // After schedules fn after a delay.
 func (e *Engine) After(d time.Duration, fn func()) {
-	e.At(e.now+d, fn)
+	e.Queue.After(d, des.Func(fn))
 }
-
-// Run processes events until the queue empties or virtual time exceeds
-// until. It returns the number of events processed by this call.
-func (e *Engine) Run(until time.Duration) uint64 {
-	var processed uint64
-	for e.queue.Len() > 0 {
-		next := e.queue[0]
-		if next.at > until {
-			break
-		}
-		heap.Pop(&e.queue)
-		e.now = next.at
-		next.fn()
-		processed++
-		e.Executed++
-	}
-	if e.now < until {
-		e.now = until
-	}
-	return processed
-}
-
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.queue.Len() }

@@ -12,7 +12,7 @@ import (
 )
 
 // benchNetwork builds a 50-node unit-disk network and converges it.
-func benchNetwork(b *testing.B, medium sim.Medium) *sim.Network {
+func benchNetwork(b testing.TB, medium sim.Medium) *sim.Network {
 	b.Helper()
 	const n = 50
 	field := geom.Field{Width: 600, Height: 600}

@@ -52,9 +52,14 @@ func (a *accum) record(hops int, latency time.Duration) {
 	a.p99.Add(secs)
 }
 
-// flowState is one flow's live state inside the engine.
+// flowState is one flow's live state inside the engine. It is also the
+// flow's departure event: once admitted, the flowState reschedules itself
+// for every packet, so a sustained flow costs zero allocations per packet
+// on the scheduling side.
 type flowState struct {
 	Flow
+	eng      *Engine
+	cls      *accum // the flow's class accumulator
 	src      source
 	decision Decision
 	decided  bool
@@ -63,6 +68,17 @@ type flowState struct {
 	accum
 	lastDelay time.Duration
 	hasLast   bool
+}
+
+// Fire implements des.Event: emit the flow's next packet and book the one
+// after, exactly the emit-then-reschedule cycle the closure API used to
+// allocate per packet.
+func (fs *flowState) Fire(now time.Duration) {
+	e := fs.eng
+	e.emit(fs)
+	if next := fs.src.next(now, fs.seq); next <= e.stop {
+		e.nw.Engine.Queue.At(next, fs)
+	}
 }
 
 // Engine drives sustained flows through a live network: each admitted flow
@@ -119,7 +135,7 @@ func (e *Engine) Add(f Flow) error {
 	if f.RateBps <= 0 || f.PacketBytes < MinPacketBytes {
 		return fmt.Errorf("traffic: flow %d needs positive rate and packet size >= %d", f.ID, MinPacketBytes)
 	}
-	fs := &flowState{Flow: f, accum: newAccum()}
+	fs := &flowState{Flow: f, eng: e, accum: newAccum()}
 	fs.src = newSource(e.base, f)
 	e.flows = append(e.flows, fs)
 	if _, ok := e.classAcc[f.Class]; !ok {
@@ -127,6 +143,7 @@ func (e *Engine) Add(f Flow) error {
 		a := newAccum()
 		e.classAcc[f.Class] = &a
 	}
+	fs.cls = e.classAcc[f.Class]
 	return nil
 }
 
@@ -193,62 +210,59 @@ func (e *Engine) admit(fs *flowState) {
 	if !fs.decision.Admitted {
 		return
 	}
-	first := fs.src.first(e.nw.Engine.Now())
-	e.schedule(fs, first)
-}
-
-// schedule books the departure of fs's next packet at the given time.
-func (e *Engine) schedule(fs *flowState, at time.Duration) {
-	if at > e.stop {
-		return
+	if first := fs.src.first(e.nw.Engine.Now()); first <= e.stop {
+		e.nw.Engine.Queue.At(first, fs)
 	}
-	e.nw.Engine.At(at, func() {
-		e.emit(fs)
-		e.schedule(fs, fs.src.next(at, fs.seq))
-	})
 }
 
-// emit sends one packet of fs and books its accounting callbacks.
+// emit sends one packet of fs on the allocation-free data path; the packet
+// completes through PacketDone with the flow and size packed in the cookie.
 func (e *Engine) emit(fs *flowState) {
 	seq := fs.seq
 	fs.seq++
 	size := fs.src.size(seq)
-	cls := e.classAcc[fs.Class]
 
 	fs.sent++
 	fs.bytesSent += uint64(size)
-	cls.sent++
-	cls.bytesSent += uint64(size)
+	fs.cls.sent++
+	fs.cls.bytesSent += uint64(size)
 	e.counters.Sent++
 
-	e.nw.SendDataSized(fs.Src, fs.Dst, size, func(ok bool, hops int, latency time.Duration) {
-		fs.completed++
-		cls.completed++
-		e.counters.Completed++
-		if !ok {
-			return
+	e.nw.SendDataTo(fs.Src, fs.Dst, size, e, uint64(fs.ID)<<32|uint64(uint32(size)))
+}
+
+// PacketDone implements sim.DataSink: one packet of the cookie's flow
+// finished (delivered or dropped), fold it into the accounting.
+func (e *Engine) PacketDone(cookie uint64, delivered bool, hops int, latency time.Duration) {
+	fs := e.flows[cookie>>32]
+	size := uint64(uint32(cookie))
+	cls := fs.cls
+	fs.completed++
+	cls.completed++
+	e.counters.Completed++
+	if !delivered {
+		return
+	}
+	fs.delivered++
+	fs.bytesDelivered += size
+	cls.delivered++
+	cls.bytesDelivered += size
+	e.counters.Delivered++
+	e.counters.BytesDelivered += size
+	fs.record(hops, latency)
+	cls.record(hops, latency)
+	e.totalAcc.record(hops, latency)
+	if fs.hasLast {
+		diff := latency - fs.lastDelay
+		if diff < 0 {
+			diff = -diff
 		}
-		fs.delivered++
-		fs.bytesDelivered += uint64(size)
-		cls.delivered++
-		cls.bytesDelivered += uint64(size)
-		e.counters.Delivered++
-		e.counters.BytesDelivered += uint64(size)
-		fs.record(hops, latency)
-		cls.record(hops, latency)
-		e.totalAcc.record(hops, latency)
-		if fs.hasLast {
-			diff := latency - fs.lastDelay
-			if diff < 0 {
-				diff = -diff
-			}
-			fs.jitter.Add(diff.Seconds())
-			cls.jitter.Add(diff.Seconds())
-			e.totalAcc.jitter.Add(diff.Seconds())
-		}
-		fs.lastDelay = latency
-		fs.hasLast = true
-	})
+		fs.jitter.Add(diff.Seconds())
+		cls.jitter.Add(diff.Seconds())
+		e.totalAcc.jitter.Add(diff.Seconds())
+	}
+	fs.lastDelay = latency
+	fs.hasLast = true
 }
 
 // Counters snapshots the engine's cumulative packet totals.

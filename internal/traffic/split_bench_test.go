@@ -1,0 +1,21 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"qolsr/internal/sim"
+)
+
+// BenchmarkControlPlaneOnly isolates the protocol-maintenance cost of the
+// traffic benchmark's timed region: the same converged 50-node network run
+// for the same 21 virtual seconds, with no flows. The difference against
+// BenchmarkTrafficEngine/ideal is the data plane's marginal cost.
+func BenchmarkControlPlaneOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nw := benchNetwork(b, sim.NewIdealMedium(0))
+		b.StartTimer()
+		nw.Run(nw.Engine.Now() + 21*time.Second)
+	}
+}

@@ -1,0 +1,43 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"qolsr/internal/sim"
+)
+
+// TestSteadyStateProfile drives the benchmark workload for a long stretch
+// under -run so a CPU profile captures only steady state (benchmark CPU
+// profiles include the untimed setup). Skipped unless -steadyprofile-like
+// long mode is requested via -timeout abuse; gated on testing.Short? Keep
+// it opt-in via the short flag inversion.
+func TestSteadyStateProfile(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("profiling helper; run with -v")
+	}
+	nw := benchNetwork(t, sim.NewIdealMedium(0))
+	eng := NewEngine(nw, 12)
+	pairs := make([][2]int32, 16)
+	for k := range pairs {
+		pairs[k] = [2]int32{int32(k % 50), int32((k*7 + 13) % 50)}
+	}
+	flows, err := FlowsFromSpecs([]Spec{
+		{Class: "cbr", Count: 8, RateBps: 16384},
+		{Class: "video", Count: 8, RateBps: 16384},
+	}, pairs, nw.Engine.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		if err := eng.Add(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := nw.Engine.Now() + 600*time.Second
+	if err := eng.Start(stop); err != nil {
+		t.Fatal(err)
+	}
+	nw.Run(stop + time.Second)
+	t.Logf("sent=%d", eng.Counters().Sent)
+}

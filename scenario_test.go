@@ -114,3 +114,52 @@ func TestRegistryNameLists(t *testing.T) {
 		t.Errorf("QuantityNames = %v", got)
 	}
 }
+
+// TestScenarioWorkersBitIdentical pins the event core's determinism at the
+// API surface: a lossy mobile scenario (keyed medium draws, waypoint churn,
+// measured link quality) produces byte-identical results whether its
+// replicate runs execute on one worker or eight.
+func TestScenarioWorkersBitIdentical(t *testing.T) {
+	sc := qolsr.Scenario{
+		Name: "workers-bit-identity",
+		Topology: qolsr.ScenarioTopology{
+			Deployment: &qolsr.Deployment{
+				Field:  qolsr.Field{Width: 400, Height: 400},
+				Radius: 100,
+				Degree: 8,
+			},
+		},
+		Protocol: qolsr.ScenarioProtocol{MeasuredQoS: true},
+		Medium:   qolsr.ScenarioMedium{Kind: "lossy", Loss: 0.1, DistanceLoss: 0.2},
+		Mobility: &qolsr.ScenarioMobility{
+			Model: qolsr.Waypoint{
+				Field:    qolsr.Field{Width: 400, Height: 400},
+				MinSpeed: 1,
+				MaxSpeed: 5,
+				Pause:    2 * time.Second,
+			},
+			RebuildEvery: time.Second,
+		},
+		Traffic:     qolsr.ScenarioTraffic{Flows: 4},
+		Duration:    30 * time.Second,
+		Warmup:      10 * time.Second,
+		SampleEvery: 5 * time.Second,
+	}
+	encode := func(workers int) string {
+		res, err := qolsr.RunScenario(context.Background(), sc,
+			qolsr.WithRuns(4), qolsr.WithSeed(9), qolsr.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	one := encode(1)
+	eight := encode(8)
+	if one != eight {
+		t.Error("lossy mobile scenario results differ between 1 and 8 workers")
+	}
+}
