@@ -28,6 +28,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -50,18 +52,48 @@ func main() {
 
 func run() error {
 	var (
-		figureID = flag.String("figure", "", "comma-separated sweeps to run (see -list), or \"all\" for fig6..fig9")
-		ablation = flag.String("ablation", "", "ablation short form to run instead: loopfix, locallinks, mprs, policy, upper, control, loss, load, scale")
-		runs     = flag.Int("runs", 100, "independent topologies per density point")
-		seed     = flag.Int64("seed", 1, "base RNG seed")
-		workers  = flag.Int("workers", 0, "parallelism budget across points and runs (0 = GOMAXPROCS)")
-		csvPath  = flag.String("csv", "", "also write the result as CSV to this file (\"-\" for stdout)")
-		jsonPath = flag.String("json", "", "also write the result as JSON to this file (\"-\" for stdout)")
-		quiet    = flag.Bool("quiet", false, "suppress progress output")
-		degrees  = flag.String("degrees", "", "override the density axis, e.g. 10,15,20")
-		list     = flag.Bool("list", false, "list sweeps, quantities, routing policies and scenarios, then exit")
+		figureID   = flag.String("figure", "", "comma-separated sweeps to run (see -list), or \"all\" for fig6..fig9")
+		ablation   = flag.String("ablation", "", "ablation short form to run instead: loopfix, locallinks, mprs, policy, upper, control, loss, load, scale, overhead")
+		runs       = flag.Int("runs", 100, "independent topologies per density point")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+		workers    = flag.Int("workers", 0, "parallelism budget across points and runs (0 = GOMAXPROCS)")
+		csvPath    = flag.String("csv", "", "also write the result as CSV to this file (\"-\" for stdout)")
+		jsonPath   = flag.String("json", "", "also write the result as JSON to this file (\"-\" for stdout)")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		degrees    = flag.String("degrees", "", "override the density axis, e.g. 10,15,20")
+		list       = flag.Bool("list", false, "list sweeps, quantities, routing policies and scenarios, then exit")
+		scaleMax   = flag.Int("scale-max", 0, "-ablation scale: cap the default node-count axis (0 = the sweep's default)")
+		scaleOpt   = flag.Bool("scale-opt", false, "-ablation scale: enable every control-plane optimisation (delta TCs, fish-eye, min-cover relays)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qolsr-sim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "qolsr-sim:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Print(registryListing())
@@ -136,9 +168,33 @@ func run() error {
 		if *jsonPath != "" || *csvPath != "" {
 			return fmt.Errorf("-ablation scale has table output only; -json/-csv are not supported")
 		}
-		res, err := r.ScaleSweep(ctx, qolsr.ScaleSweepOptions{})
+		res, err := r.ScaleSweep(ctx, qolsr.ScaleSweepOptions{
+			MaxNodes: *scaleMax,
+			Optimize: *scaleOpt,
+		})
 		if err != nil {
 			return err
+		}
+		return res.WriteTable(os.Stdout)
+	}
+
+	if *ablation == "overhead" {
+		// O1 compares control-plane optimisations on the live stack; its
+		// JSON form is the BENCH_overhead.json artifact.
+		if *csvPath != "" {
+			return fmt.Errorf("-ablation overhead has table and JSON output only; -csv is not supported")
+		}
+		res, err := r.OverheadSweep(ctx, qolsr.OverheadSweepOptions{})
+		if err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			if *jsonPath != "-" {
+				if err := res.WriteTable(os.Stdout); err != nil {
+					return err
+				}
+			}
+			return writeOut(*jsonPath, res.EncodeJSON)
 		}
 		return res.WriteTable(os.Stdout)
 	}

@@ -181,6 +181,28 @@
 // stack is a first-class experiment (Runner.ScaleSweep, -ablation scale);
 // BENCH_core.json records the headline numbers.
 //
+// # Control-plane scaling
+//
+// Three opt-in optimisations make control overhead sublinear in density at
+// equal delivery, all off by default and independently toggled through
+// olsr.Config (scenario.Protocol and the sweeps thread them). Delta-encoded
+// TCs (Config.DeltaTC) anchor a chain of incremental TC-DELTA messages —
+// each carrying only the links added, reweighted or removed since the last
+// advertisement — on a periodically refreshed full TC; a receiver applies a
+// delta only when its (full sequence, chain index) extends the chain it is
+// synced to, and a gap desynchronises it until the next full rebases the
+// chain, so loss degrades to classic full-TC behaviour rather than stale
+// topology. Fish-eye scoping (Config.FisheyeTTLs) cycles TC emissions
+// through a TTL schedule — scoped emissions refresh nearby topology cheaply
+// while periodic unlimited ones (TTL 0) reach the whole network; combined
+// with DeltaTC, full TCs ride exactly the unlimited emissions. Min-cover
+// flood relays (Config.FloodRelay) select a second, coverage-minimal relay
+// set for flooding — RFC 3626 greedy plus redundancy pruning — decoupling
+// flooding cost from the QoS-driven advertised set, which stays intact for
+// routing. Runner.OverheadSweep (-ablation overhead) measures each
+// optimisation against the original QOLSR plane on identical fields;
+// BENCH_overhead.json records the result.
+//
 // # Quick start
 //
 //	dep := qolsr.PaperDeployment(15)                  // δ=15, 1000×1000, R=100

@@ -58,6 +58,10 @@ type (
 	ScaleSweepOptions = eval.ScaleSweepOptions
 	// ScaleSweepResult is Runner.ScaleSweep's outcome.
 	ScaleSweepResult = eval.ScaleSweepResult
+	// OverheadSweepOptions configures the O1 overhead-vs-density experiment.
+	OverheadSweepOptions = eval.OverheadSweepOptions
+	// OverheadSweepResult is Runner.OverheadSweep's outcome.
+	OverheadSweepResult = eval.OverheadSweepResult
 	// Results is a completed sweep with table/CSV/JSON encoders.
 	Results = runner.Result
 	// Event is one incremental sweep outcome (see Stream).
@@ -288,4 +292,23 @@ func (r *Runner) ScaleSweep(ctx context.Context, opts ScaleSweepOptions) (*Scale
 		opts.Seed = r.opts.Seed
 	}
 	return eval.RunScaleSweep(ctx, opts)
+}
+
+// OverheadSweep measures control overhead against density per control-plane
+// optimisation on the live protocol stack (experiment O1): the original
+// QOLSR plane against delta TCs, fish-eye scoping, min-cover flood relays,
+// and all three together — same fields, same seeds. It honours ctx and the
+// runner's seed/runs/degrees options where the sweep's own are unset.
+func (r *Runner) OverheadSweep(ctx context.Context, opts OverheadSweepOptions) (*OverheadSweepResult, error) {
+	if opts.Seed == 0 {
+		opts.Seed = r.opts.Seed
+	}
+	if opts.Runs <= 0 && r.opts.Runs > 0 {
+		// Same live-stack cost scaling as ControlSweep, times five variants.
+		opts.Runs = max(1, r.opts.Runs/20)
+	}
+	if len(opts.Degrees) == 0 {
+		opts.Degrees = r.opts.Degrees
+	}
+	return eval.RunOverheadSweep(ctx, opts)
 }

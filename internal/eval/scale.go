@@ -11,6 +11,7 @@ import (
 
 	"qolsr/internal/geom"
 	"qolsr/internal/metric"
+	"qolsr/internal/mpr"
 	"qolsr/internal/netgen"
 	"qolsr/internal/olsr"
 	"qolsr/internal/rng"
@@ -30,10 +31,19 @@ import (
 
 // ScaleSweepOptions configures the S1 experiment.
 type ScaleSweepOptions struct {
-	// Nodes is the node-count axis (default {50, 100, 250, 500, 1000}).
-	// Each point deploys exactly that many nodes — the field is sized for
-	// constant density, so ~Degree mean degree at every N.
+	// Nodes is the node-count axis (default: the standard axis {50, 100,
+	// 250, 500, 1000, 2500, 5000, 10000} cut at MaxNodes). Each point
+	// deploys exactly that many nodes — the field is sized for constant
+	// density, so ~Degree mean degree at every N.
 	Nodes []int
+	// MaxNodes caps the default axis (default 1000; ignored when Nodes is
+	// set explicitly). The points past 1000 are where the control-plane
+	// optimisations earn their keep — raise the cap to reach them.
+	MaxNodes int
+	// Optimize runs the control plane with every scaling optimisation on:
+	// delta-encoded TCs, the default fish-eye schedule, and min-cover
+	// flood relays.
+	Optimize bool
 	// Degree is the constant target mean degree (default 10).
 	Degree float64
 	// Flows is the number of concurrent CBR flows at every point (a fixed
@@ -87,7 +97,15 @@ func RunScaleSweep(ctx context.Context, opts ScaleSweepOptions) (*ScaleSweepResu
 		ctx = context.Background()
 	}
 	if len(opts.Nodes) == 0 {
-		opts.Nodes = []int{50, 100, 250, 500, 1000}
+		max := opts.MaxNodes
+		if max <= 0 {
+			max = 1000
+		}
+		for _, n := range []int{50, 100, 250, 500, 1000, 2500, 5000, 10000} {
+			if n <= max {
+				opts.Nodes = append(opts.Nodes, n)
+			}
+		}
 	}
 	if opts.Degree <= 0 {
 		opts.Degree = 10
@@ -152,6 +170,11 @@ func runScalePoint(p *ScalePoint, n, run int, opts ScaleSweepOptions) error {
 	pairs := sim.DrawPairs(g.N(), opts.Flows, int64(rng.Mix(uint64(fieldSeed), 0x5CA1E)))
 
 	cfg := olsr.DefaultConfig(metric.Bandwidth())
+	if opts.Optimize {
+		cfg.DeltaTC = true
+		cfg.FisheyeTTLs = olsr.DefaultFisheyeTTLs()
+		cfg.FloodRelay = mpr.MinCover
+	}
 	nw, err := sim.NewNetwork(g, cfg, sim.NetworkOptions{Seed: RunSeed(fieldSeed, float64(n), run)})
 	if err != nil {
 		return err

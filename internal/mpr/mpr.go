@@ -33,6 +33,14 @@ const (
 	QOLSR1
 	// QOLSR2 is MPR-2: best QoS link among useful candidates.
 	QOLSR2
+	// MinCover is the flooding-minimal relay set: the Greedy coverage
+	// heuristic followed by the RFC 3626 §8.3.1 optional optimisation — a
+	// pruning pass that drops every selected relay whose covered 2-hop
+	// neighbors are all covered by other selected relays. It exists for the
+	// two-relay-set model (Config.FloodRelay): QoS-driven selection is what
+	// the paper wants advertised, but floods only need coverage, and the
+	// smallest covering set is what bounds TC forwards in dense fields.
+	MinCover
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +52,8 @@ func (h Heuristic) String() string {
 		return "qolsr-mpr1"
 	case QOLSR2:
 		return "qolsr-mpr2"
+	case MinCover:
+		return "min-cover"
 	default:
 		return fmt.Sprintf("Heuristic(%d)", int(h))
 	}
@@ -54,7 +64,7 @@ func (h Heuristic) String() string {
 // comparisons; Greedy ignores them (they may be nil). The result lists
 // global node indices of selected 1-hop neighbors in ascending NodeID order.
 func Select(view *graph.LocalView, h Heuristic, m metric.Metric, w []float64) ([]int32, error) {
-	if h != Greedy && (m == nil || w == nil) {
+	if h != Greedy && h != MinCover && (m == nil || w == nil) {
 		return nil, fmt.Errorf("mpr: heuristic %v requires a metric and weights", h)
 	}
 	g := view.G
@@ -102,7 +112,7 @@ func Select(view *graph.LocalView, h Heuristic, m metric.Metric, w []float64) ([
 
 	// directWeight is used by the QoS heuristics.
 	var direct []float64
-	if h != Greedy {
+	if h != Greedy && h != MinCover {
 		direct = make([]float64, len(view.N1))
 		for i, n := range view.N1 {
 			e, ok := g.EdgeBetween(view.U, n)
@@ -147,7 +157,7 @@ func Select(view *graph.LocalView, h Heuristic, m metric.Metric, w []float64) ([
 				continue
 			}
 			switch h {
-			case Greedy:
+			case Greedy, MinCover:
 				// Max gain; ties by higher degree, then smaller ID
 				// (RFC 3626's reachability/degree tie-break).
 				if gain > bestGain ||
@@ -177,6 +187,10 @@ func Select(view *graph.LocalView, h Heuristic, m metric.Metric, w []float64) ([
 		selectIdx(best)
 	}
 
+	if h == MinCover {
+		prune(view, covers, selected)
+	}
+
 	out := make([]int32, 0, len(view.N1))
 	for i, sel := range selected {
 		if sel {
@@ -185,6 +199,54 @@ func Select(view *graph.LocalView, h Heuristic, m metric.Metric, w []float64) ([
 	}
 	sort.Slice(out, func(a, b int) bool { return g.ID(out[a]) < g.ID(out[b]) })
 	return out, nil
+}
+
+// prune drops redundant relays from a covering selection: a selected relay
+// is removed when every 2-hop neighbor it covers is covered by at least one
+// other selected relay (RFC 3626 §8.3.1's optional optimisation). Candidates
+// are tried smallest coverage first (ties by ascending NodeID) — the relays
+// a greedy pass selects early and later picks make redundant — so the order,
+// and with it the result, is a pure function of the view.
+func prune(view *graph.LocalView, covers [][]int32, selected []bool) {
+	selCover := make(map[int32]int, len(view.N2))
+	for i, sel := range selected {
+		if !sel {
+			continue
+		}
+		for _, v := range covers[i] {
+			selCover[v]++
+		}
+	}
+	order := make([]int, 0, len(view.N1))
+	for i, sel := range selected {
+		if sel {
+			order = append(order, i)
+		}
+	}
+	g := view.G
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if len(covers[ia]) != len(covers[ib]) {
+			return len(covers[ia]) < len(covers[ib])
+		}
+		return g.ID(view.N1[ia]) < g.ID(view.N1[ib])
+	})
+	for _, i := range order {
+		redundant := true
+		for _, v := range covers[i] {
+			if selCover[v] < 2 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			continue
+		}
+		selected[i] = false
+		for _, v := range covers[i] {
+			selCover[v]--
+		}
+	}
 }
 
 // VerifyCoverage reports whether every 2-hop neighbor of the view is

@@ -2,6 +2,7 @@ package mpr
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"qolsr/internal/graph"
@@ -271,6 +272,77 @@ func TestMandatoryPhaseSubset(t *testing.T) {
 					t.Fatalf("trial %d %v: mandatory neighbor %d missing", trial, h, n)
 				}
 			}
+		}
+	}
+}
+
+func TestMinCoverPrunesRedundantRelay(t *testing.T) {
+	// Greedy's tie-breaks pick neighbor 1 {6,7} first, then 2 (for 8) and
+	// 3 (for 9) — which between them re-cover everything 1 covers.
+	// Neighbors 4 and 5 only exist to keep 8 and 9 non-uniquely covered so
+	// the mandatory phase stays empty.
+	g := star(t, 5, map[int32][]int32{
+		1: {6, 7}, 2: {6, 8}, 3: {7, 9}, 4: {8}, 5: {9},
+	}, nil)
+	lv := graph.NewLocalView(g, 0)
+	greedy, err := Select(lv, Greedy, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int32{1, 2, 3}; !reflect.DeepEqual(greedy, want) {
+		t.Fatalf("greedy = %v, want %v", greedy, want)
+	}
+	// MinCover needs neither metric nor weights.
+	minc, err := Select(lv, MinCover, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int32{2, 3}; !reflect.DeepEqual(minc, want) {
+		t.Fatalf("min-cover = %v, want %v", minc, want)
+	}
+	if !VerifyCoverage(lv, minc) {
+		t.Error("pruned relay set lost coverage")
+	}
+}
+
+func TestMinCoverCoverageInvariantRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(6)
+		twoHop := map[int32][]int32{}
+		seen := map[[2]int32]bool{}
+		next := int32(k + 1)
+		for i := int32(1); i <= int32(k); i++ {
+			for j := 0; j < rng.Intn(4); j++ {
+				v := next
+				if rng.Intn(2) == 0 && next > int32(k+1) {
+					// Re-cover an existing 2-hop node.
+					v = int32(k+1) + rng.Int31n(next-int32(k+1))
+				} else {
+					next++
+				}
+				if seen[[2]int32{i, v}] {
+					continue
+				}
+				seen[[2]int32{i, v}] = true
+				twoHop[i] = append(twoHop[i], v)
+			}
+		}
+		g := star(t, k, twoHop, nil)
+		lv := graph.NewLocalView(g, 0)
+		greedy, err := Select(lv, Greedy, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minc, err := Select(lv, MinCover, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyCoverage(lv, minc) {
+			t.Fatalf("trial %d: min-cover set %v loses coverage", trial, minc)
+		}
+		if len(minc) > len(greedy) {
+			t.Fatalf("trial %d: min-cover %v bigger than greedy %v", trial, minc, greedy)
 		}
 	}
 }

@@ -77,6 +77,33 @@ func FuzzUnmarshalTC(f *testing.F) {
 	})
 }
 
+func FuzzUnmarshalTCDelta(f *testing.F) {
+	f.Add(MarshalTCDelta(&TCDelta{Origin: 1, Seq: 2, ANSN: 3, FullSeq: 1, Index: 1}))
+	f.Add(MarshalTCDelta(&TCDelta{
+		Origin: -9, Seq: 65535, ANSN: 32768, FullSeq: 65530, Index: 5,
+		Add: []LinkInfo{{Neighbor: 1, Weight: 0}, {Neighbor: 7, Weight: 123.5}},
+		Del: []int64{3, -4},
+	}))
+	f.Add(MarshalTCDelta(&TCDelta{Origin: 4, Seq: 9, FullSeq: 8, Index: 1, Del: []int64{12}}))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		d, err := UnmarshalTCDelta(buf)
+		if err != nil {
+			return
+		}
+		if d.Index == 0 {
+			t.Fatal("accepted zero chain index")
+		}
+		for _, l := range d.Add {
+			if !validWeight(l.Weight) {
+				t.Fatalf("accepted invalid link weight %v", l.Weight)
+			}
+		}
+		if out := MarshalTCDelta(d); !bytes.Equal(out, buf) {
+			t.Fatalf("non-canonical tc delta: decode/encode changed %x to %x", buf, out)
+		}
+	})
+}
+
 // corruptWeight rewrites the first link weight of an encoded message in
 // place. Layout: type(1) origin(8) seq(2) count(2) for HELLOs, plus ANSN
 // before the count for TCs; the first weight sits 8 bytes into the first
@@ -106,6 +133,12 @@ func TestUnmarshalRejectsHostileWeights(t *testing.T) {
 	// The LQ block starts after header(13) + mpr count(2) + lq count(2).
 	if _, err := UnmarshalHello(corruptWeight(lq, 17, math.NaN())); err == nil {
 		t.Error("hello with NaN lq weight accepted")
+	}
+	// The delta's Add block starts after header(13) + fullseq(2) +
+	// index(2) + add count(2).
+	delta := MarshalTCDelta(&TCDelta{Origin: 1, Index: 1, Add: []LinkInfo{{Neighbor: 2, Weight: 3}}})
+	if _, err := UnmarshalTCDelta(corruptWeight(delta, 19, math.NaN())); err == nil {
+		t.Error("tc delta with NaN add weight accepted")
 	}
 }
 
@@ -138,5 +171,13 @@ func TestUnmarshalAbsurdCounts(t *testing.T) {
 	binary.BigEndian.PutUint16(b[13:], 65535)
 	if _, err := UnmarshalTC(b); err == nil {
 		t.Error("tc claiming 65535 links accepted")
+	}
+	delta := MarshalTCDelta(&TCDelta{Origin: 1, Index: 1})
+	for _, off := range []int{17, 19} { // add count, del count
+		b := bytes.Clone(delta)
+		binary.BigEndian.PutUint16(b[off:], 65535)
+		if _, err := UnmarshalTCDelta(b); err == nil {
+			t.Errorf("tc delta claiming 65535 entries at offset %d accepted", off)
+		}
 	}
 }

@@ -24,6 +24,7 @@ type MsgType uint8
 const (
 	MsgHello MsgType = iota + 1
 	MsgTC
+	MsgTCDelta
 )
 
 // String implements fmt.Stringer.
@@ -33,6 +34,8 @@ func (t MsgType) String() string {
 		return "HELLO"
 	case MsgTC:
 		return "TC"
+	case MsgTCDelta:
+		return "TC-DELTA"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -250,13 +253,121 @@ func UnmarshalTC(buf []byte) (*TC, error) {
 	return t, nil
 }
 
+// TCDelta is the delta-encoded topology-control message (opt-in, see
+// Config.DeltaTC): instead of re-flooding the whole advertised neighbor set
+// every period, the origin floods only the changes against what it last
+// flooded. Deltas form a chain anchored on the last full TC: FullSeq names
+// the anchoring full TC's flooding sequence number and Index is the delta's
+// 1-based position in the chain since it. A receiver applies a delta only
+// when it holds the origin's state at exactly (FullSeq, Index-1); any gap —
+// a missed delta, a missed full, a fresh receiver — desynchronises it until
+// the next full TC rebases the chain (the origin refreshes the full state
+// periodically, so resync is bounded by the full-TC period). In the
+// steady-state converged network the delta is empty and serves as a pure
+// soft-state keepalive at a fraction of a full TC's size.
+type TCDelta struct {
+	// Origin is the node whose advertised set changed (not the forwarder).
+	Origin int64
+	// Seq is the flooding sequence number used for duplicate suppression;
+	// full TCs and deltas share the origin's one counter.
+	Seq uint16
+	// ANSN is the Advertised Neighbor Sequence Number after applying the
+	// delta.
+	ANSN uint16
+	// FullSeq is the Seq of the full TC this delta chain is anchored on.
+	FullSeq uint16
+	// Index is the 1-based position in the delta chain since FullSeq.
+	Index uint16
+	// Add lists links added to — or reweighted within — the advertised set.
+	Add []LinkInfo
+	// Del lists neighbors removed from the advertised set.
+	Del []int64
+}
+
+// MarshalTCDelta encodes d into a fresh byte slice.
+func MarshalTCDelta(d *TCDelta) []byte {
+	buf := make([]byte, 0, headerLen+6+2+len(d.Add)*linkInfoLen+2+len(d.Del)*8)
+	buf = append(buf, byte(MsgTCDelta))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(d.Origin))
+	buf = binary.BigEndian.AppendUint16(buf, d.Seq)
+	buf = binary.BigEndian.AppendUint16(buf, d.ANSN)
+	buf = binary.BigEndian.AppendUint16(buf, d.FullSeq)
+	buf = binary.BigEndian.AppendUint16(buf, d.Index)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(d.Add)))
+	for _, l := range d.Add {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(l.Neighbor))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(l.Weight))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(d.Del)))
+	for _, id := range d.Del {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(id))
+	}
+	return buf
+}
+
+// UnmarshalTCDelta decodes a TC delta produced by MarshalTCDelta.
+func UnmarshalTCDelta(buf []byte) (*TCDelta, error) {
+	const fixed = 1 + 8 + 2 + 2 + 2 + 2 + 2 // type origin seq ansn fullseq index addcount
+	if len(buf) < fixed+2 {
+		return nil, fmt.Errorf("olsr: tc delta too short (%d bytes)", len(buf))
+	}
+	if MsgType(buf[0]) != MsgTCDelta {
+		return nil, fmt.Errorf("olsr: not a tc delta (type %d)", buf[0])
+	}
+	d := &TCDelta{
+		Origin:  int64(binary.BigEndian.Uint64(buf[1:9])),
+		Seq:     binary.BigEndian.Uint16(buf[9:11]),
+		ANSN:    binary.BigEndian.Uint16(buf[11:13]),
+		FullSeq: binary.BigEndian.Uint16(buf[13:15]),
+		Index:   binary.BigEndian.Uint16(buf[15:17]),
+	}
+	if d.Index == 0 {
+		// Chain positions are 1-based: index 0 is not a frame the
+		// marshalling side produces (GenerateTCUpdate emits a full TC as the
+		// chain base instead).
+		return nil, fmt.Errorf("olsr: tc delta with zero chain index")
+	}
+	n := int(binary.BigEndian.Uint16(buf[17:19]))
+	off := 19
+	if len(buf) < off+n*linkInfoLen+2 {
+		return nil, fmt.Errorf("olsr: tc delta truncated (%d adds claimed)", n)
+	}
+	if n > 0 {
+		d.Add = make([]LinkInfo, n)
+	}
+	for i := 0; i < n; i++ {
+		d.Add[i].Neighbor = int64(binary.BigEndian.Uint64(buf[off : off+8]))
+		d.Add[i].Weight = math.Float64frombits(binary.BigEndian.Uint64(buf[off+8 : off+16]))
+		if !validWeight(d.Add[i].Weight) {
+			return nil, fmt.Errorf("olsr: tc delta add %d has invalid weight", i)
+		}
+		off += linkInfoLen
+	}
+	m := int(binary.BigEndian.Uint16(buf[off : off+2]))
+	off += 2
+	if len(buf) < off+m*8 {
+		return nil, fmt.Errorf("olsr: tc delta truncated (%d dels claimed)", m)
+	}
+	if m > 0 {
+		d.Del = make([]int64, m)
+	}
+	for i := 0; i < m; i++ {
+		d.Del[i] = int64(binary.BigEndian.Uint64(buf[off : off+8]))
+		off += 8
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("olsr: tc delta has trailing garbage (%d bytes)", len(buf)-off)
+	}
+	return d, nil
+}
+
 // PeekType reports the wire type of an encoded message.
 func PeekType(buf []byte) (MsgType, error) {
 	if len(buf) == 0 {
 		return 0, fmt.Errorf("olsr: empty message")
 	}
 	t := MsgType(buf[0])
-	if t != MsgHello && t != MsgTC {
+	if t != MsgHello && t != MsgTC && t != MsgTCDelta {
 		return 0, fmt.Errorf("olsr: unknown message type %d", buf[0])
 	}
 	return t, nil

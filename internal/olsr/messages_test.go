@@ -162,3 +162,49 @@ func TestMsgTypeString(t *testing.T) {
 		t.Error("unknown type name")
 	}
 }
+
+func TestTCDeltaRoundTrip(t *testing.T) {
+	for _, d := range []*TCDelta{
+		{Origin: 3, Seq: 12, ANSN: 77, FullSeq: 9, Index: 3,
+			Add: []LinkInfo{{Neighbor: 5, Weight: 1.5}, {Neighbor: 8, Weight: 2}},
+			Del: []int64{2, -6}},
+		{Origin: -1, Seq: 65535, ANSN: 0, FullSeq: 65534, Index: 1},
+		{Origin: 4, Seq: 1, FullSeq: 0, Index: 2, Del: []int64{9}},
+	} {
+		got, err := UnmarshalTCDelta(MarshalTCDelta(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(d, got) {
+			t.Errorf("round trip mismatch:\n%+v\n%+v", d, got)
+		}
+	}
+	if tp, err := PeekType(MarshalTCDelta(&TCDelta{Origin: 1, Index: 1})); err != nil || tp != MsgTCDelta {
+		t.Error("PeekType failed on tc delta")
+	}
+	if MsgTCDelta.String() != "TC-DELTA" {
+		t.Error("tc delta type name")
+	}
+}
+
+func TestTCDeltaRejectsMalformed(t *testing.T) {
+	if _, err := UnmarshalTCDelta(nil); err == nil {
+		t.Error("nil delta accepted")
+	}
+	if _, err := UnmarshalTCDelta(MarshalTC(&TC{Origin: 1})); err == nil {
+		t.Error("tc decoded as delta")
+	}
+	// A zero chain index is never emitted: Index is 1-based, the full TC
+	// itself being position 0.
+	if _, err := UnmarshalTCDelta(MarshalTCDelta(&TCDelta{Origin: 1, Index: 0})); err == nil {
+		t.Error("zero chain index accepted")
+	}
+	d := MarshalTCDelta(&TCDelta{Origin: 1, Index: 1,
+		Add: []LinkInfo{{Neighbor: 2, Weight: 3}}, Del: []int64{4}})
+	if _, err := UnmarshalTCDelta(d[:len(d)-1]); err == nil {
+		t.Error("truncated delta accepted")
+	}
+	if _, err := UnmarshalTCDelta(append(append([]byte(nil), d...), 0xff)); err == nil {
+		t.Error("delta with trailing garbage accepted")
+	}
+}

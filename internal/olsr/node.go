@@ -53,7 +53,48 @@ type Config struct {
 	// divergence. It turns every table rebuild into a full one — do not
 	// enable it outside tests.
 	RouteCrossCheck bool
+	// DeltaTC enables delta-encoded topology control (GenerateTCUpdate):
+	// between periodic full TCs the node floods only the changes against
+	// what it last flooded — in the converged steady state an empty
+	// header-sized keepalive. Receivers apply deltas only when synchronised
+	// on the origin's chain and resynchronise from the next full TC after
+	// any gap, so the full-TC cadence bounds the staleness a lost delta can
+	// cause.
+	DeltaTC bool
+	// TCFullEvery is the full-TC refresh period in TC emissions under
+	// DeltaTC (default DefaultTCFullEvery). When FisheyeTTLs is also set
+	// the unlimited-scope emissions carry the full TC instead — they are
+	// the only ones distant receivers get, and a delta would be
+	// unappliable there.
+	TCFullEvery int
+	// FisheyeTTLs is the fish-eye scoping schedule (GenerateTCUpdate):
+	// emission k floods with TTL FisheyeTTLs[k mod len], where 0 means
+	// unlimited. Near neighbors then see every topology update while
+	// distant ones see only the unlimited emissions — frequent updates
+	// near, rare far — so per-TC flooding cost stops scaling with the
+	// whole field. The unlimited period times TCInterval must stay under
+	// TopologyHoldTime or distant state thrashes between refresh and
+	// expiry.
+	FisheyeTTLs []int
+	// FloodRelay selects a second relay set computed alongside the
+	// MPRHeuristic one, announced to neighbors as this node's relay choice
+	// and therefore gating TC forwarding (zero: the MPRHeuristic set
+	// serves both roles, the classic single-set behaviour). The paper's
+	// QoS-driven selection deliberately over-selects for QoS coverage;
+	// mpr.MinCover here keeps routing advertising the QoS set while floods
+	// traverse a coverage-minimal set.
+	FloodRelay mpr.Heuristic
 }
+
+// DefaultTCFullEvery is the DeltaTC full-refresh period when Config leaves
+// TCFullEvery unset: every 4th emission re-floods the whole advertised set.
+const DefaultTCFullEvery = 4
+
+// DefaultFisheyeTTLs returns the default fish-eye schedule: alternate
+// 2-hop-scoped and unlimited emissions. With RFC timers that gives near
+// nodes the full TC rate and distant nodes half of it (10s period, safely
+// under the 15s topology hold time).
+func DefaultFisheyeTTLs() []int { return []int{2, 0} }
 
 // DefaultConfig returns RFC-style timers with FNBP selection under the given
 // metric.
@@ -90,6 +131,14 @@ type topoEntry struct {
 	links   map[int64]float64
 	adv     []LinkInfo // see neighborTable.adv
 	expires time.Duration
+	// Delta-chain position (DeltaTC receivers): the entry holds the
+	// origin's state as of full TC fullSeq plus the first chain deltas.
+	// synced is false when a chain gap was detected — the links stay the
+	// best known state, but no further delta may apply until the next full
+	// TC rebases the chain.
+	fullSeq uint16
+	chain   uint16
+	synced  bool
 }
 
 // dupSeq is one duplicate-suppression entry: a TC sequence number seen from
@@ -167,7 +216,18 @@ type Node struct {
 
 	mprSet    []int64
 	ansSet    []int64
+	relaySet  []int64                 // flooding relay set announced in HELLOs (== mprSet unless Config.FloodRelay)
 	selectors map[int64]time.Duration // nodes that chose us as MPR
+
+	// Delta-TC emission state (GenerateTCUpdate): the emission counter
+	// driving the fish-eye/full-refresh schedules, and the chain anchor —
+	// the advertised content and flooding Seq of the last full TC plus the
+	// number of deltas emitted since it.
+	tcEmit      uint64
+	lastAdv     []LinkInfo
+	lastFullSeq uint16
+	chainIdx    uint16
+	haveFull    bool
 
 	// nhVersion counts content changes to the neighborhood state (links,
 	// neighbor tables) and topoVersion counts content changes to anything
@@ -235,6 +295,19 @@ func NewNode(id int64, cfg Config) (*Node, error) {
 	}
 	if cfg.TopologyHoldTime <= 0 {
 		cfg.TopologyHoldTime = 3 * cfg.TCInterval
+	}
+	if cfg.DeltaTC && cfg.TCFullEvery <= 0 {
+		cfg.TCFullEvery = DefaultTCFullEvery
+	}
+	for _, ttl := range cfg.FisheyeTTLs {
+		if ttl < 0 {
+			return nil, fmt.Errorf("olsr: negative TTL %d in fish-eye schedule", ttl)
+		}
+	}
+	if cfg.DeltaTC && len(cfg.FisheyeTTLs) > 0 && !slices.Contains(cfg.FisheyeTTLs, 0) {
+		// Scoped emissions only: distant nodes would never hear a full TC
+		// and could never apply a delta — the combination cannot converge.
+		return nil, fmt.Errorf("olsr: DeltaTC with fish-eye scoping needs an unlimited (0) schedule entry")
 	}
 	return &Node{
 		ID:         id,
@@ -379,9 +452,12 @@ func (n *Node) GenerateHello(now time.Duration) *Hello {
 		slices.SortFunc(adv, func(a, b LinkInfo) int { return cmp.Compare(a.Neighbor, b.Neighbor) })
 		n.helloAdv = adv
 	}
-	// The link block and MPR set are shared read-only (both replaced, never
-	// mutated, on content change).
-	h := &Hello{Origin: n.ID, Seq: n.helloSeq, Links: n.helloAdv, MPRs: n.mprSet}
+	// The link block and relay set are shared read-only (both replaced,
+	// never mutated, on content change). The announced MPRs field is the
+	// flooding relay set — the mprSet itself unless Config.FloodRelay
+	// splits the roles — because selector state is what gates TC
+	// forwarding at the listed neighbors.
+	h := &Hello{Origin: n.ID, Seq: n.helloSeq, Links: n.helloAdv, MPRs: n.relaySet}
 	n.helloSeq++
 	if n.cfg.MeasuredQoS {
 		// Report the raw forward delivery ratio per heard neighbor so
@@ -467,6 +543,16 @@ func (n *Node) GenerateTC(now time.Duration) *TC {
 	if len(n.ansSet) == 0 {
 		return nil
 	}
+	t := &TC{Origin: n.ID, Seq: n.tcSeq, ANSN: n.ansn, Links: n.currentTCAdv()}
+	n.tcSeq++
+	return t
+}
+
+// currentTCAdv returns the cached advertised link block for the current ANS
+// (rebuilt when the neighborhood version moved; the slice is shared
+// read-only with every emitted message until the next content change).
+// Callers must have run recompute().
+func (n *Node) currentTCAdv() []LinkInfo {
 	if n.tcAdv == nil || n.tcAt != n.nhVersion {
 		n.tcAt = n.nhVersion
 		adv := make([]LinkInfo, 0, len(n.ansSet))
@@ -477,9 +563,170 @@ func (n *Node) GenerateTC(now time.Duration) *TC {
 		}
 		n.tcAdv = adv
 	}
-	t := &TC{Origin: n.ID, Seq: n.tcSeq, ANSN: n.ansn, Links: n.tcAdv}
+	return n.tcAdv
+}
+
+// GenerateTCUpdate produces this node's periodic topology-control emission
+// under the control-plane optimisations, returning exactly one of full and
+// delta (both nil when there is nothing to advertise) plus the fish-eye TTL
+// scope for this emission (0 = unlimited flood).
+//
+// A full TC goes out when DeltaTC is off, when no full has been flooded
+// since the advertised set was last empty, and on the periodic refresh —
+// every TCFullEvery-th emission, or, under a fish-eye schedule, on every
+// unlimited-scope emission (those are the only ones distant receivers get,
+// so they must be self-contained). Every other emission carries the delta
+// against the previously flooded content; in the converged steady state
+// that is an empty header-sized keepalive. Full and delta emissions share
+// the origin's flooding sequence space, so duplicate suppression and the
+// delta chain anchor (FullSeq) both work off the same counter.
+func (n *Node) GenerateTCUpdate(now time.Duration) (full *TC, delta *TCDelta, ttl int) {
+	n.expire(now)
+	n.recompute()
+	emit := n.tcEmit
+	n.tcEmit++
+	if s := n.cfg.FisheyeTTLs; len(s) > 0 {
+		ttl = s[emit%uint64(len(s))]
+	}
+	if len(n.ansSet) == 0 {
+		// Nothing to advertise: stay silent (RFC behaviour). Receivers
+		// expire the old state on their own; when content returns the
+		// chain restarts from a full TC.
+		n.haveFull = false
+		return nil, nil, ttl
+	}
+	adv := n.currentTCAdv()
+	wantFull := !n.cfg.DeltaTC || !n.haveFull || n.chainIdx == math.MaxUint16
+	if !wantFull {
+		if len(n.cfg.FisheyeTTLs) > 0 {
+			wantFull = ttl == 0
+		} else {
+			wantFull = emit%uint64(n.cfg.TCFullEvery) == 0
+		}
+	}
+	seq := n.tcSeq
 	n.tcSeq++
-	return t
+	if wantFull {
+		n.lastAdv = adv
+		n.lastFullSeq = seq
+		n.chainIdx = 0
+		n.haveFull = true
+		return &TC{Origin: n.ID, Seq: seq, ANSN: n.ansn, Links: adv}, nil, ttl
+	}
+	add, del := diffAdv(n.lastAdv, adv)
+	n.lastAdv = adv
+	n.chainIdx++
+	return nil, &TCDelta{
+		Origin:  n.ID,
+		Seq:     seq,
+		ANSN:    n.ansn,
+		FullSeq: n.lastFullSeq,
+		Index:   n.chainIdx,
+		Add:     add,
+		Del:     del,
+	}, ttl
+}
+
+// diffAdv computes the change from one advertised link block to the next.
+// Both are sorted by neighbor (selection output is ascending-ID), so one
+// linear merge yields the additions/reweights and the removals.
+func diffAdv(old, cur []LinkInfo) (add []LinkInfo, del []int64) {
+	i, j := 0, 0
+	for i < len(old) && j < len(cur) {
+		switch {
+		case old[i].Neighbor == cur[j].Neighbor:
+			if old[i].Weight != cur[j].Weight {
+				add = append(add, cur[j])
+			}
+			i++
+			j++
+		case old[i].Neighbor < cur[j].Neighbor:
+			del = append(del, old[i].Neighbor)
+			i++
+		default:
+			add = append(add, cur[j])
+			j++
+		}
+	}
+	for ; i < len(old); i++ {
+		del = append(del, old[i].Neighbor)
+	}
+	for ; j < len(cur); j++ {
+		add = append(add, cur[j])
+	}
+	return add, del
+}
+
+// HandleTCDelta ingests a flooded delta TC received from the direct
+// neighbor sender and reports whether this node must re-broadcast it (same
+// forwarding rule and duplicate-suppression window as HandleTC — full and
+// delta share the origin's sequence space). The content applies only when
+// this node is synchronised on the origin's chain, holding the state at
+// exactly (FullSeq, Index-1); on any gap the message still floods, but the
+// receiver marks the origin desynchronised and waits for the next full TC
+// to rebase. The stale entry is kept meanwhile — it remains the best known
+// state until rebased or expired.
+func (n *Node) HandleTCDelta(d *TCDelta, sender int64, now time.Duration) (forward bool) {
+	n.expire(now)
+	if n.dupSeen(d.Origin, d.Seq, now) {
+		return false
+	}
+	if d.Origin != n.ID {
+		n.applyTCDelta(d, now)
+	}
+	_, senderSelectedUs := n.selectors[sender]
+	return senderSelectedUs
+}
+
+// applyTCDelta merges an in-chain delta into the origin's topology entry,
+// or flags the entry desynchronised on a chain gap.
+func (n *Node) applyTCDelta(d *TCDelta, now time.Duration) {
+	cur, ok := n.topology[d.Origin]
+	if !ok || !cur.synced || cur.fullSeq != d.FullSeq || d.Index != cur.chain+1 {
+		if ok && cur.synced && cur.fullSeq == d.FullSeq && d.Index <= cur.chain {
+			// At or below the applied chain position: a stale
+			// reordering, not a desync.
+			return
+		}
+		if ok && cur.synced {
+			cur.synced = false
+			n.topology[d.Origin] = cur
+		}
+		return
+	}
+	cur.chain = d.Index
+	cur.ansn = d.ANSN
+	cur.expires = now + n.cfg.TopologyHoldTime
+	if len(d.Add) == 0 && len(d.Del) == 0 {
+		// The steady-state keepalive: refresh in place, no rebuild and no
+		// cache invalidation.
+		n.topology[d.Origin] = cur
+		n.track(cur.expires)
+		return
+	}
+	links := make(map[int64]float64, len(cur.links)+len(d.Add))
+	for k, v := range cur.links {
+		links[k] = v
+	}
+	for _, id := range d.Del {
+		delete(links, id)
+	}
+	for _, l := range d.Add {
+		links[l.Neighbor] = l.Weight
+	}
+	adv := make([]LinkInfo, 0, len(links))
+	for _, id := range sortedKeys(links) {
+		adv = append(adv, LinkInfo{Neighbor: id, Weight: links[id]})
+	}
+	old := cur.links
+	cur.links = links
+	cur.adv = adv
+	n.topology[d.Origin] = cur
+	n.track(cur.expires)
+	if !equalLinkMaps(old, links) {
+		n.touchTopology()
+		n.markLinkMapDiff(d.Origin, old, links)
+	}
 }
 
 // HandleTC ingests a flooded TC received from the direct neighbor sender
@@ -488,25 +735,8 @@ func (n *Node) GenerateTC(now time.Duration) *TC {
 // re-advertises an origin's known link set only refreshes its deadline.
 func (n *Node) HandleTC(t *TC, sender int64, now time.Duration) (forward bool) {
 	n.expire(now)
-	// Duplicate suppression: scan the origin's window, recycling the first
-	// expired slot for the new entry.
-	row := n.dups[t.Origin]
-	slot := -1
-	for i := range row {
-		if row[i].expires <= now {
-			if slot < 0 {
-				slot = i
-			}
-			continue
-		}
-		if row[i].seq == t.Seq {
-			return false
-		}
-	}
-	if slot >= 0 {
-		row[slot] = dupSeq{seq: t.Seq, expires: now + n.cfg.TopologyHoldTime}
-	} else {
-		n.dups[t.Origin] = append(row, dupSeq{seq: t.Seq, expires: now + n.cfg.TopologyHoldTime})
+	if n.dupSeen(t.Origin, t.Seq, now) {
+		return false
 	}
 	if t.Origin != n.ID {
 		cur, ok := n.topology[t.Origin]
@@ -518,9 +748,10 @@ func (n *Node) HandleTC(t *TC, sender int64, now time.Duration) (forward bool) {
 		case ok && slices.Equal(cur.adv, t.Links):
 			// The steady-state TC re-advertises an unchanged link block:
 			// refresh the entry in place, no rebuild and no cache
-			// invalidation.
+			// invalidation. A full TC is always a valid chain anchor.
 			cur.ansn = t.ANSN
 			cur.expires = now + n.cfg.TopologyHoldTime
+			cur.fullSeq, cur.chain, cur.synced = t.Seq, 0, true
 			n.topology[t.Origin] = cur
 			n.track(cur.expires)
 		default:
@@ -529,6 +760,8 @@ func (n *Node) HandleTC(t *TC, sender int64, now time.Duration) (forward bool) {
 				links:   make(map[int64]float64, len(t.Links)),
 				adv:     t.Links,
 				expires: now + n.cfg.TopologyHoldTime,
+				fullSeq: t.Seq,
+				synced:  true,
 			}
 			for _, l := range t.Links {
 				entry.links[l.Neighbor] = l.Weight
@@ -543,6 +776,32 @@ func (n *Node) HandleTC(t *TC, sender int64, now time.Duration) (forward bool) {
 	}
 	_, senderSelectedUs := n.selectors[sender]
 	return senderSelectedUs
+}
+
+// dupSeen probes (and on a first sighting, records) the (origin, seq)
+// duplicate-suppression window shared by every flooded TC-family message:
+// one scan of the origin's few live entries, recycling the first expired
+// slot for the new entry.
+func (n *Node) dupSeen(origin int64, seq uint16, now time.Duration) bool {
+	row := n.dups[origin]
+	slot := -1
+	for i := range row {
+		if row[i].expires <= now {
+			if slot < 0 {
+				slot = i
+			}
+			continue
+		}
+		if row[i].seq == seq {
+			return true
+		}
+	}
+	if slot >= 0 {
+		row[slot] = dupSeq{seq: seq, expires: now + n.cfg.TopologyHoldTime}
+	} else {
+		n.dups[origin] = append(row, dupSeq{seq: seq, expires: now + n.cfg.TopologyHoldTime})
+	}
+	return false
 }
 
 // ansnNewer reports whether current is strictly newer than candidate under
@@ -561,7 +820,7 @@ func (n *Node) recompute() {
 
 	view, g, w, err := n.localView()
 	if err != nil || view == nil {
-		n.mprSet, n.ansSet = nil, nil
+		n.mprSet, n.ansSet, n.relaySet = nil, nil, nil
 		return
 	}
 	mprs, err := mpr.Select(view, n.cfg.MPRHeuristic, n.cfg.Metric, w)
@@ -580,6 +839,15 @@ func (n *Node) recompute() {
 		return out
 	}
 	n.mprSet = toIDs(mprs)
+	if fr := n.cfg.FloodRelay; fr != 0 && fr != n.cfg.MPRHeuristic {
+		rel, err := mpr.Select(view, fr, n.cfg.Metric, w)
+		if err != nil {
+			rel = nil
+		}
+		n.relaySet = toIDs(rel)
+	} else {
+		n.relaySet = n.mprSet
+	}
 	newANS := toIDs(ans)
 	if !equalIDs(newANS, n.ansSet) {
 		n.ansSet = newANS
@@ -758,6 +1026,14 @@ func (n *Node) MPRSet(now time.Duration) []int64 {
 	n.expire(now)
 	n.recompute()
 	return append([]int64(nil), n.mprSet...)
+}
+
+// RelaySet returns the flooding relay set this node announces in HELLOs:
+// the MPR set, unless Config.FloodRelay computes a separate one.
+func (n *Node) RelaySet(now time.Duration) []int64 {
+	n.expire(now)
+	n.recompute()
+	return append([]int64(nil), n.relaySet...)
 }
 
 // ANS returns the current advertised neighbor set (routing).

@@ -50,6 +50,9 @@ type jsonScenario struct {
 	Medium      string      `json:"medium"`
 	Loss        float64     `json:"loss,omitempty"`
 	MeasuredQoS bool        `json:"measured_qos,omitempty"`
+	DeltaTC     bool        `json:"delta_tc,omitempty"`
+	FisheyeTTLs []int       `json:"fisheye_ttls,omitempty"`
+	MinRelay    bool        `json:"min_relay,omitempty"`
 	DurationS   float64     `json:"duration_s"`
 	WarmupS     float64     `json:"warmup_s"`
 	SampleS     float64     `json:"sample_every_s"`
@@ -82,6 +85,7 @@ type jsonSample struct {
 	Overhead      float64 `json:"overhead"`
 	OverheadFlows int     `json:"overhead_flows"`
 	ControlBPS    float64 `json:"control_bps"`
+	TCFwdBPS      float64 `json:"tc_fwd_bps"`
 	SetSize       float64 `json:"set_size"`
 	// Traffic-engine window fields, omitted in legacy probe mode.
 	TrafficSent       int     `json:"traffic_sent,omitempty"`
@@ -103,6 +107,10 @@ type jsonTotals struct {
 	HelloBytes    uint64 `json:"hello_bytes"`
 	TCMessages    uint64 `json:"tc_messages"`
 	TCBytes       uint64 `json:"tc_bytes"`
+	// The TC byte/message split: tc_bytes = originated + forwarded.
+	TCOrigBytes   uint64 `json:"tc_originated_bytes"`
+	TCForwarded   uint64 `json:"tc_forwarded"`
+	TCFwdBytes    uint64 `json:"tc_forwarded_bytes"`
 	DataSent      uint64 `json:"data_sent"`
 	DataDelivered uint64 `json:"data_delivered"`
 	DataNoRoute   uint64 `json:"data_no_route"`
@@ -266,6 +274,7 @@ func sampleJSON(s Sample) jsonSample {
 		Overhead:          r6(s.Overhead),
 		OverheadFlows:     s.OverheadFlows,
 		ControlBPS:        r6(s.ControlBPS),
+		TCFwdBPS:          r6(s.TCFwdBPS),
 		SetSize:           r6(s.SetSize),
 		TrafficSent:       s.TrafficSent,
 		TrafficCompleted:  s.TrafficCompleted,
@@ -326,6 +335,9 @@ func (r *Result) EncodeJSON(w io.Writer) error {
 				HelloBytes:    run.Control.HelloBytes,
 				TCMessages:    run.Control.TCMessages,
 				TCBytes:       run.Control.TCBytes,
+				TCOrigBytes:   run.Control.TCOriginatedBytes,
+				TCForwarded:   run.Control.TCForwarded,
+				TCFwdBytes:    run.Control.TCForwardedBytes,
 				DataSent:      run.Data.Sent,
 				DataDelivered: run.Data.Delivered,
 				DataNoRoute:   run.Data.NoRoute,
@@ -410,6 +422,7 @@ func (r *Result) EncodeCSV(w io.Writer) error {
 				{"overhead", fmt.Sprintf("%.6f", r6(s.Overhead))},
 				{"overhead_flows", fmt.Sprintf("%d", s.OverheadFlows)},
 				{"control_bps", fmt.Sprintf("%.6f", r6(s.ControlBPS))},
+				{"tc_fwd_bps", fmt.Sprintf("%.6f", r6(s.TCFwdBPS))},
 				{"set_size", fmt.Sprintf("%.6f", r6(s.SetSize))},
 			}
 			if run.Traffic != nil {

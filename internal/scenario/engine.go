@@ -11,6 +11,7 @@ import (
 	"qolsr/internal/geom"
 	"qolsr/internal/graph"
 	"qolsr/internal/metric"
+	"qolsr/internal/mpr"
 	"qolsr/internal/olsr"
 	"qolsr/internal/route"
 	"qolsr/internal/sim"
@@ -24,6 +25,13 @@ const propDelay = time.Millisecond
 
 // flow is one persistent probe (source, destination) pair.
 type flow struct{ src, dst int32 }
+
+// ctrlSnapshot carries the control-byte counters between samples so each
+// sample's rates diff against the previous sample, not the drain window.
+type ctrlSnapshot struct {
+	// total is HELLO + TC bytes on the air; fwd the TC relay share.
+	total, fwd uint64
+}
 
 // disruption records one fired disruptive phase for reconvergence tracking.
 type disruption struct {
@@ -187,9 +195,9 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 	// medium; queueing and jitter widen it on the lossy one).
 	drain := time.Duration(sim.DefaultDataTTL+2) * nw.HopDelayBound()
 	var (
-		prevT     time.Duration
-		prevBytes uint64
-		prevCnt   traffic.Counters
+		prevT    time.Duration
+		prevCtrl ctrlSnapshot
+		prevCnt  traffic.Counters
 	)
 	for _, t := range sc.SampleTimes() {
 		if err := ctx.Err(); err != nil {
@@ -199,12 +207,12 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 		if phaseErr != nil {
 			return nil, phaseErr
 		}
-		s, ctrl, err := measure(nw, cfg.Metric, channel, flows, t, prevT, prevBytes, drain, eng, prevCnt)
+		s, ctrl, err := measure(nw, cfg.Metric, channel, flows, t, prevT, prevCtrl, drain, eng, prevCnt)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: sample at %v: %w", sc.Name, t, err)
 		}
 		prevT = t
-		prevBytes = ctrl
+		prevCtrl = ctrl
 		if eng != nil {
 			prevCnt = eng.Counters()
 		}
@@ -318,12 +326,16 @@ func reconvergence(samples []Sample, disruptions []disruption, duration time.Dur
 // vanish from every rate. A routing-table failure aborts the sample: it is
 // surfaced to the caller instead of being silently sampled as an empty
 // table.
-func measure(nw *sim.Network, m metric.Metric, channel string, flows []flow, t, prevT time.Duration, prevBytes uint64, drain time.Duration, eng *traffic.Engine, prevCnt traffic.Counters) (Sample, uint64, error) {
+func measure(nw *sim.Network, m metric.Metric, channel string, flows []flow, t, prevT time.Duration, prev ctrlSnapshot, drain time.Duration, eng *traffic.Engine, prevCnt traffic.Counters) (Sample, ctrlSnapshot, error) {
 	s := Sample{Time: t, Nodes: nw.Phys.N()}
 
-	ctrl := nw.Stats.HelloBytes + nw.Stats.TCBytes
+	ctrl := ctrlSnapshot{
+		total: nw.Stats.HelloBytes + nw.Stats.TCBytes,
+		fwd:   nw.Stats.TCForwardedBytes,
+	}
 	if secs := (t - prevT).Seconds(); secs > 0 {
-		s.ControlBPS = float64(ctrl-prevBytes) / secs
+		s.ControlBPS = float64(ctrl.total-prev.total) / secs
+		s.TCFwdBPS = float64(ctrl.fwd-prev.fwd) / secs
 	}
 	if sets, err := nw.ANSSets(); err == nil && len(sets) > 0 {
 		total := 0
@@ -371,7 +383,7 @@ func measure(nw *sim.Network, m metric.Metric, channel string, flows []flow, t, 
 			var err error
 			table, err = nw.Nodes[f.src].Routes(nw.Engine.Now())
 			if err != nil {
-				return Sample{}, 0, fmt.Errorf("routing table of node %d: %w", nw.Phys.ID(f.src), err)
+				return Sample{}, ctrlSnapshot{}, fmt.Errorf("routing table of node %d: %w", nw.Phys.ID(f.src), err)
 			}
 			tables[f.src] = table
 		}
@@ -515,6 +527,11 @@ func protocolConfig(p Protocol) (olsr.Config, error) {
 	cfg := olsr.DefaultConfig(p.Metric)
 	cfg.Selector = sel
 	cfg.MeasuredQoS = p.MeasuredQoS
+	cfg.DeltaTC = p.DeltaTC
+	cfg.FisheyeTTLs = append([]int(nil), p.FisheyeTTLs...)
+	if p.MinRelay {
+		cfg.FloodRelay = mpr.MinCover
+	}
 	if p.HelloInterval > 0 {
 		cfg.HelloInterval = p.HelloInterval
 		cfg.NeighborHoldTime = 3 * p.HelloInterval

@@ -42,6 +42,11 @@ type Sample struct {
 	// ControlBPS is the control-traffic rate (HELLO+TC bytes per virtual
 	// second) since the previous sample.
 	ControlBPS float64
+	// TCFwdBPS is the relay re-broadcast share of ControlBPS — TC bytes
+	// forwarded (not originated) per virtual second since the previous
+	// sample. The flooding-cost component the relay-set optimisations act
+	// on.
+	TCFwdBPS float64
 	// SetSize is the mean advertised-set size across nodes.
 	SetSize float64
 

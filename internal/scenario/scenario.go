@@ -97,6 +97,16 @@ type Protocol struct {
 	// measurement: link weights come from windowed HELLO delivery ratios
 	// (ETX-style), the regime the lossy medium exists for.
 	MeasuredQoS bool
+	// DeltaTC switches TC dissemination to delta encoding: full TCs anchor
+	// a chain of incremental updates, cutting steady-state TC bytes.
+	DeltaTC bool
+	// FisheyeTTLs, when non-empty, scopes successive TC emissions with this
+	// cyclic TTL schedule (0 = unlimited). With DeltaTC, the schedule must
+	// contain a 0 entry — full TCs ride the unlimited emissions.
+	FisheyeTTLs []int
+	// MinRelay floods through a coverage-minimal relay set instead of the
+	// QoS-driven advertised set, decoupling flooding cost from QoS coverage.
+	MinRelay bool
 }
 
 // Medium selects the radio model a scenario runs on. The zero value is the

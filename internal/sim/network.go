@@ -10,13 +10,25 @@ import (
 	"qolsr/internal/rng"
 )
 
-// TrafficStats accounts control traffic by message type.
+// TrafficStats accounts control traffic by message type. TC traffic is
+// additionally split by role: TCBytes is the on-air total, of which
+// TCOriginatedBytes were first transmissions at the origin and
+// TCForwardedBytes were relay re-broadcasts (TCBytes = originated +
+// forwarded; likewise TCMessages = TCOriginated + TCForwarded). The split
+// is what the overhead sweep reads — relay minimisation and fish-eye
+// scoping attack the forwarded share, delta encoding the per-message size.
 type TrafficStats struct {
 	HelloMessages uint64
 	HelloBytes    uint64
 	TCMessages    uint64 // including MPR re-broadcasts
 	TCBytes       uint64
 	TCOriginated  uint64
+	// TCOriginatedBytes counts first transmissions at the origin (full TCs
+	// and deltas alike).
+	TCOriginatedBytes uint64
+	// TCForwarded / TCForwardedBytes count MPR re-broadcasts.
+	TCForwarded      uint64
+	TCForwardedBytes uint64
 }
 
 // Network runs one OLSR/QOLSR protocol instance per node of a physical
@@ -35,6 +47,10 @@ type Network struct {
 	cfg     olsr.Config
 	channel string
 	medium  Medium
+	// ctrlFast routes TC emission through GenerateTCUpdate (delta TCs
+	// and/or fish-eye scoping configured); off, emission is the classic
+	// full-TC path, bit-identically.
+	ctrlFast bool
 	// jitter holds one emission-jitter stream per node, keyed by
 	// (seed, node index): a node's jitter draws are a pure function of
 	// its own key and draw count — platform-stable (no math/rand) and
@@ -100,13 +116,14 @@ func NewNetwork(phys *graph.Graph, cfg olsr.Config, opts NetworkOptions) (*Netwo
 		medium = NewIdealMedium(opts.PropDelay)
 	}
 	nw := &Network{
-		Engine:  &Engine{},
-		Phys:    phys,
-		cfg:     cfg,
-		channel: channel,
-		medium:  medium,
-		jitter:  make([]rng.Stream, phys.N()),
-		indexOf: make(map[int64]int32, phys.N()),
+		Engine:   &Engine{},
+		Phys:     phys,
+		cfg:      cfg,
+		channel:  channel,
+		medium:   medium,
+		ctrlFast: cfg.DeltaTC || len(cfg.FisheyeTTLs) > 0,
+		jitter:   make([]rng.Stream, phys.N()),
+		indexOf:  make(map[int64]int32, phys.N()),
 	}
 	for i := range nw.jitter {
 		nw.jitter[i] = rng.NewStream(uint64(opts.Seed), uint64(i))
@@ -219,16 +236,35 @@ func (nw *Network) emitHelloNow(i int) {
 	// the wire codec is canonical (Unmarshal(Marshal(h)) reproduces h, the
 	// fuzzers pin it), so decoding per receiver would only re-derive what
 	// the sender already holds.
-	nw.broadcastFrame(int32(i), buf, h, nil)
+	nw.broadcastFrame(int32(i), buf, h, nil, nil, 0)
 }
 
 func (nw *Network) emitTCNow(i int) {
+	if nw.ctrlFast {
+		full, delta, ttl := nw.Nodes[i].GenerateTCUpdate(nw.Engine.Now())
+		var buf []byte
+		switch {
+		case full != nil:
+			buf = olsr.MarshalTC(full)
+		case delta != nil:
+			buf = olsr.MarshalTCDelta(delta)
+		default:
+			return
+		}
+		nw.Stats.TCOriginated++
+		nw.Stats.TCMessages++
+		nw.Stats.TCBytes += uint64(len(buf))
+		nw.Stats.TCOriginatedBytes += uint64(len(buf))
+		nw.broadcastFrame(int32(i), buf, nil, full, delta, int32(ttl))
+		return
+	}
 	if tc := nw.Nodes[i].GenerateTC(nw.Engine.Now()); tc != nil {
 		buf := olsr.MarshalTC(tc)
 		nw.Stats.TCOriginated++
 		nw.Stats.TCMessages++
 		nw.Stats.TCBytes += uint64(len(buf))
-		nw.broadcastFrame(int32(i), buf, nil, tc)
+		nw.Stats.TCOriginatedBytes += uint64(len(buf))
+		nw.broadcastFrame(int32(i), buf, nil, tc, nil, 0)
 	}
 }
 
@@ -255,7 +291,12 @@ type controlFrame struct {
 	buf   []byte
 	hello *olsr.Hello
 	tc    *olsr.TC
-	dsts  []int32
+	tcd   *olsr.TCDelta
+	// ttl is the remaining flood scope when the frame was transmitted
+	// (fish-eye scoping; 0 = unlimited). It travels alongside the frame
+	// rather than on the wire, so scoped runs reuse the unchanged codec.
+	ttl  int32
+	dsts []int32
 }
 
 // Fire implements des.Event: deliver the frame to every batched receiver.
@@ -282,7 +323,7 @@ func (h *frameHop) Fire(time.Duration) {
 	f.nw.hopPool = append(f.nw.hopPool, h)
 }
 
-func (nw *Network) newFrame(from int32, buf []byte, hello *olsr.Hello, tc *olsr.TC) *controlFrame {
+func (nw *Network) newFrame(from int32, buf []byte, hello *olsr.Hello, tc *olsr.TC, tcd *olsr.TCDelta, ttl int32) *controlFrame {
 	var f *controlFrame
 	if n := len(nw.framePool); n > 0 {
 		f = nw.framePool[n-1]
@@ -294,6 +335,8 @@ func (nw *Network) newFrame(from int32, buf []byte, hello *olsr.Hello, tc *olsr.
 	f.buf = buf
 	f.hello = hello
 	f.tc = tc
+	f.tcd = tcd
+	f.ttl = ttl
 	f.dsts = f.dsts[:0]
 	return f
 }
@@ -302,7 +345,7 @@ func (nw *Network) newFrame(from int32, buf []byte, hello *olsr.Hello, tc *olsr.
 func (f *controlFrame) release() {
 	f.refs--
 	if f.refs <= 0 {
-		f.buf, f.hello, f.tc = nil, nil, nil
+		f.buf, f.hello, f.tc, f.tcd = nil, nil, nil, nil
 		f.nw.framePool = append(f.nw.framePool, f)
 	}
 }
@@ -310,8 +353,9 @@ func (f *controlFrame) release() {
 // broadcastFrame hands a message (encoded and decoded forms) to the medium
 // for delivery to the sender's currently-up physical neighbors: the medium
 // decides who receives the frame and after how long. Failed links carry
-// nothing regardless of the medium.
-func (nw *Network) broadcastFrame(from int32, buf []byte, hello *olsr.Hello, tc *olsr.TC) {
+// nothing regardless of the medium. ttl is the frame's remaining flood
+// scope at this transmission (0 = unlimited).
+func (nw *Network) broadcastFrame(from int32, buf []byte, hello *olsr.Hello, tc *olsr.TC, tcd *olsr.TCDelta, ttl int32) {
 	nw.dsts = nw.dsts[:0]
 	for _, arc := range nw.Phys.Arcs(from) {
 		if nw.LinkUp(from, arc.To) {
@@ -329,7 +373,7 @@ func (nw *Network) broadcastFrame(from int32, buf []byte, hello *olsr.Hello, tc 
 			break
 		}
 	}
-	f := nw.newFrame(from, buf, hello, tc)
+	f := nw.newFrame(from, buf, hello, tc, tcd, ttl)
 	if uniform {
 		// One pooled event delivers to the whole reception set, in plan
 		// order — the exact order separate equal-time events would run in.
@@ -367,14 +411,33 @@ func (nw *Network) deliverFrame(f *controlFrame, to int32) {
 	case f.hello != nil:
 		node.HandleHello(f.hello, now)
 	case f.tc != nil:
-		if node.HandleTC(f.tc, int64(nw.Phys.ID(f.from)), now) {
+		if node.HandleTC(f.tc, int64(nw.Phys.ID(f.from)), now) && f.ttl != 1 {
 			// MPR forwarding: re-broadcast from this node, reusing the
-			// encoded and decoded forms.
-			nw.Stats.TCMessages++
-			nw.Stats.TCBytes += uint64(len(f.buf))
-			nw.broadcastFrame(to, f.buf, nil, f.tc)
+			// encoded and decoded forms. A frame received at TTL 1 has
+			// exhausted its scope: the handler above still ingested it
+			// (dup-marked and topology-applied), it just travels no
+			// further.
+			nw.relayTC(f, to)
+		}
+	case f.tcd != nil:
+		if node.HandleTCDelta(f.tcd, int64(nw.Phys.ID(f.from)), now) && f.ttl != 1 {
+			nw.relayTC(f, to)
 		}
 	}
+}
+
+// relayTC re-broadcasts a TC-family frame from a relay, decrementing the
+// fish-eye scope (an unlimited frame stays unlimited).
+func (nw *Network) relayTC(f *controlFrame, to int32) {
+	ttl := f.ttl
+	if ttl > 0 {
+		ttl--
+	}
+	nw.Stats.TCMessages++
+	nw.Stats.TCBytes += uint64(len(f.buf))
+	nw.Stats.TCForwarded++
+	nw.Stats.TCForwardedBytes += uint64(len(f.buf))
+	nw.broadcastFrame(to, f.buf, nil, f.tc, f.tcd, ttl)
 }
 
 // ANSSets returns every node's current advertised set as graph indices,

@@ -9,6 +9,7 @@ import (
 	"qolsr/internal/core"
 	"qolsr/internal/graph"
 	"qolsr/internal/metric"
+	"qolsr/internal/mpr"
 	"qolsr/internal/netgen"
 	"qolsr/internal/olsr"
 	"qolsr/internal/route"
@@ -181,5 +182,125 @@ func TestNewNetworkValidation(t *testing.T) {
 	cfg := olsr.DefaultConfig(metric.Bandwidth())
 	if _, err := NewNetwork(g, cfg, NetworkOptions{}); err == nil {
 		t.Error("missing weight channel accepted")
+	}
+}
+
+// TestTTLScopedRelayAndDupSuppression pins the fish-eye relay semantics on
+// a 5-node line 0-1-2-3-4: a TC from node 0 scoped to TTL 3 is relayed by
+// 1 and 2, received by 3 at TTL 1 — which must ingest it (3 learns the
+// 0-1 link it cannot learn from HELLOs) but not re-flood it, so 4 stays
+// beyond the fish-eye boundary. Duplicate suppression operates on (origin,
+// seq) regardless of scope: re-sending the same seq unlimited changes
+// nothing, while a fresh seq crosses the boundary.
+func TestTTLScopedRelayAndDupSuppression(t *testing.T) {
+	g := graph.New(5)
+	for i := int32(0); i < 4; i++ {
+		e := g.MustAddEdge(i, i+1)
+		if err := g.SetWeight("bandwidth", e, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := olsr.DefaultConfig(metric.Bandwidth())
+	nw, err := NewNetwork(g, cfg, NetworkOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HELLO rounds only (no Start: TC emission is driven by hand below)
+	// until 2-hop views and selector state settle.
+	for round := 0; round < 4; round++ {
+		for i := range nw.Nodes {
+			nw.emitHelloNow(i)
+		}
+		nw.Engine.Run(nw.Engine.Now() + 100*time.Millisecond)
+	}
+	routeTo0 := func(node int) bool {
+		r, err := nw.Nodes[node].Routes(nw.Engine.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ok := r.Lookup(0)
+		return ok
+	}
+	if routeTo0(3) || routeTo0(4) {
+		t.Fatal("3-hop route to 0 exists before any TC")
+	}
+
+	tc := nw.Nodes[0].GenerateTC(nw.Engine.Now())
+	if tc == nil {
+		t.Fatal("node 0 has nothing to advertise")
+	}
+	nw.broadcastFrame(0, olsr.MarshalTC(tc), nil, tc, nil, 3)
+	nw.Engine.Run(nw.Engine.Now() + time.Second)
+	if !routeTo0(3) {
+		t.Error("TC received at TTL 1 did not update topology")
+	}
+	if routeTo0(4) {
+		t.Error("TC re-flooded past its TTL scope")
+	}
+	if fwd := nw.Stats.TCForwarded; fwd != 2 {
+		t.Errorf("TCForwarded = %d, want 2 (relays at nodes 1 and 2)", fwd)
+	}
+
+	// The same seq at unlimited scope is a duplicate everywhere it already
+	// travelled: node 1 drops it and the boundary stands.
+	nw.broadcastFrame(0, olsr.MarshalTC(tc), nil, tc, nil, 0)
+	nw.Engine.Run(nw.Engine.Now() + time.Second)
+	if routeTo0(4) {
+		t.Error("duplicate seq crossed the fish-eye boundary")
+	}
+	if fwd := nw.Stats.TCForwarded; fwd != 2 {
+		t.Errorf("TCForwarded = %d after duplicate, want still 2", fwd)
+	}
+
+	// Fresh seqs at unlimited scope relay all the way: with node 0's next
+	// TC (the 0-1 link) and node 1's (the 1-2 link) flooded unscoped,
+	// even node 4 completes a route to 0.
+	tc0 := nw.Nodes[0].GenerateTC(nw.Engine.Now())
+	nw.broadcastFrame(0, olsr.MarshalTC(tc0), nil, tc0, nil, 0)
+	tc1 := nw.Nodes[1].GenerateTC(nw.Engine.Now())
+	nw.broadcastFrame(1, olsr.MarshalTC(tc1), nil, tc1, nil, 0)
+	nw.Engine.Run(nw.Engine.Now() + time.Second)
+	if !routeTo0(4) {
+		t.Error("fresh unlimited TC did not cross the boundary")
+	}
+}
+
+// TestDeltaTCNetworkConverges runs the full optimized control plane (delta
+// TCs, fish-eye scoping, min-cover flood relays) on a random field and
+// checks it reaches the same routing reachability as the classic path,
+// with the byte split consistent.
+func TestDeltaTCNetworkConverges(t *testing.T) {
+	m := metric.Bandwidth()
+	g := smallWorld(t, 11, 8)
+	cfg := olsr.DefaultConfig(m)
+	cfg.DeltaTC = true
+	cfg.FisheyeTTLs = olsr.DefaultFisheyeTTLs()
+	cfg.FloodRelay = mpr.MinCover
+	nw, err := NewNetwork(g, cfg, NetworkOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Start()
+	nw.Run(60 * time.Second)
+	now := nw.Engine.Now()
+	// Every node must route to every other (the field is connected).
+	for i, n := range nw.Nodes {
+		r, err := n.Routes(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Len() != g.N()-1 {
+			t.Fatalf("node %d routes to %d of %d destinations under optimized control plane", i, r.Len(), g.N()-1)
+		}
+	}
+	s := nw.Stats
+	if s.TCBytes != s.TCOriginatedBytes+s.TCForwardedBytes {
+		t.Errorf("byte split inconsistent: %d != %d + %d", s.TCBytes, s.TCOriginatedBytes, s.TCForwardedBytes)
+	}
+	if s.TCMessages != s.TCOriginated+s.TCForwarded {
+		t.Errorf("message split inconsistent: %d != %d + %d", s.TCMessages, s.TCOriginated, s.TCForwarded)
+	}
+	if s.TCOriginatedBytes == 0 || s.TCForwardedBytes == 0 {
+		t.Error("degenerate byte split")
 	}
 }
