@@ -63,6 +63,7 @@ func run() error {
 		degrees    = flag.String("degrees", "", "override the density axis, e.g. 10,15,20")
 		list       = flag.Bool("list", false, "list sweeps, quantities, routing policies and scenarios, then exit")
 		scaleMax   = flag.Int("scale-max", 0, "-ablation scale: cap the default node-count axis (0 = the sweep's default)")
+		scaleMin   = flag.Int("scale-min", 0, "-ablation scale: cut the default node-count axis from below (0 = no cut)")
 		scaleOpt   = flag.Bool("scale-opt", false, "-ablation scale: enable every control-plane optimisation (delta TCs, fish-eye, min-cover relays)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -170,7 +171,9 @@ func run() error {
 		}
 		res, err := r.ScaleSweep(ctx, qolsr.ScaleSweepOptions{
 			MaxNodes: *scaleMax,
+			MinNodes: *scaleMin,
 			Optimize: *scaleOpt,
+			Workers:  *workers,
 		})
 		if err != nil {
 			return err

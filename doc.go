@@ -181,6 +181,39 @@
 // stack is a first-class experiment (Runner.ScaleSweep, -ablation scale);
 // BENCH_core.json records the headline numbers.
 //
+// # Shared topology & parallel rebuilds
+//
+// Big fields spend their time ingesting what they already know: in steady
+// state every flooded TC re-announces an unchanged link set to N-1
+// receivers. The topology store is built around that regime. Advertised
+// link blocks are interned — an origin's normalized []LinkInfo is shared
+// read-only between the emitter's cache, every in-flight message, and
+// every receiver's topology entry, so the steady-state ingest path is one
+// pointer comparison plus a deadline refresh, and a content change pays
+// one linear merge that marks exactly the (origin, neighbor) pairs that
+// differ for the incremental SPF. Per-node soft state lives in dense slot
+// tables when the population declares contiguous IDs (Config.DenseIDs):
+// flat arrays indexed by node ID replace hash maps in every hot lookup,
+// and ascending-ID iteration becomes an array walk with the same order the
+// determinism contract already required. Graph node-index resolution is
+// O(1) (an identity fast path when IDs equal indices, a maintained reverse
+// index otherwise), which keeps routing-graph construction linear.
+//
+// Because each node's routing table is a pure function of that node's own
+// soft state — interned blocks are read-only by contract — any set of
+// tables can be rebuilt concurrently. Network.RebuildRoutes is that
+// barrier: it fans the dirty nodes' SPF work across a worker budget and
+// produces tables bit-identical to the serial path at every worker count
+// (scenario.Scenario.Workers and eval.ScaleSweepOptions.Workers thread the
+// budget; a churn-heavy lossy scenario encoding to identical JSON at
+// workers 1 and 8 locks the property, and CI runs the barrier under the
+// race detector). Rebuild activity is observable end to end:
+// olsr.RebuildStats counts interning hits, topology builds and the
+// full/incremental SPF split per node, scenario samples carry the windowed
+// series, and run totals report the epoch hit rate.
+// BenchmarkTopologyRebuild and BenchmarkSPF track the two hot paths;
+// BENCH_core.json records them alongside the scale sweep.
+//
 // # Control-plane scaling
 //
 // Three opt-in optimisations make control overhead sublinear in density at

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"time"
 
@@ -40,6 +41,10 @@ type ScaleSweepOptions struct {
 	// set explicitly). The points past 1000 are where the control-plane
 	// optimisations earn their keep — raise the cap to reach them.
 	MaxNodes int
+	// MinNodes cuts the default axis from below (ignored when Nodes is set
+	// explicitly): points smaller than it are skipped, so a big-field
+	// measurement need not re-run the whole ladder beneath it.
+	MinNodes int
 	// Optimize runs the control plane with every scaling optimisation on:
 	// delta-encoded TCs, the default fish-eye schedule, and min-cover
 	// flood relays.
@@ -61,6 +66,11 @@ type ScaleSweepOptions struct {
 	// the big points are the expensive part and the quantities of
 	// interest are throughput, not protocol statistics).
 	Runs int
+	// Workers bounds the goroutines the post-warmup route-rebuild barrier
+	// fans the flow sources' SPF work across (0 = GOMAXPROCS, 1 =
+	// serial). Wall-clock only: results are bit-identical at every
+	// setting.
+	Workers int
 	// Seed derives field, protocol and flow randomness.
 	Seed int64
 }
@@ -102,7 +112,7 @@ func RunScaleSweep(ctx context.Context, opts ScaleSweepOptions) (*ScaleSweepResu
 			max = 1000
 		}
 		for _, n := range []int{50, 100, 250, 500, 1000, 2500, 5000, 10000} {
-			if n <= max {
+			if n >= opts.MinNodes && n <= max {
 				opts.Nodes = append(opts.Nodes, n)
 			}
 		}
@@ -183,6 +193,13 @@ func runScalePoint(p *ScalePoint, n, run int, opts ScaleSweepOptions) error {
 	start := time.Now()
 	nw.Start()
 	nw.Run(opts.Warmup)
+	// Rebuild barrier: the converged field's flow sources all need fresh
+	// routing tables before the first packet; fan that SPF work across the
+	// worker budget instead of paying it serially inside the event loop.
+	// Results are bit-identical at every worker count.
+	if _, err := nw.RebuildRoutes(flowSources(pairs), opts.Workers); err != nil {
+		return err
+	}
 	eng := traffic.NewEngine(nw, int64(rng.Mix(uint64(fieldSeed), 0x5CA1E, uint64(run))))
 	for i, pr := range pairs {
 		if err := eng.Add(traffic.Flow{
@@ -214,6 +231,20 @@ func runScalePoint(p *ScalePoint, n, run int, opts ScaleSweepOptions) error {
 	}
 	p.Delivery.Add(rep.Total.Delivery)
 	return nil
+}
+
+// flowSources returns the unique flow sources in ascending index order.
+func flowSources(pairs [][2]int32) []int32 {
+	seen := make(map[int32]bool, len(pairs))
+	out := make([]int32, 0, len(pairs))
+	for _, p := range pairs {
+		if !seen[p[0]] {
+			seen[p[0]] = true
+			out = append(out, p[0])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // WriteTable renders the sweep as an aligned table.

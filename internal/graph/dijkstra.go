@@ -132,6 +132,14 @@ type Scratch struct {
 	heap []heapItem
 }
 
+// Reset releases the scratch's retained buffers. Buffers grow to the largest
+// graph ever searched and are otherwise kept warm for reuse, so a scratch
+// that served a one-off search over a big field pins O(N) memory for its
+// owner's lifetime; Reset returns it to the zero value. The ShortestPaths
+// most recently returned by Dijkstra aliases the released buffers and must
+// not be used afterwards.
+func (s *Scratch) Reset() { *s = Scratch{} }
+
 // resizeInt32 returns buf with length n, reusing its storage when possible.
 func resizeInt32(buf []int32, n int) []int32 {
 	if cap(buf) < n {

@@ -32,11 +32,19 @@ type Arc struct {
 // dense indices 0..N()-1 carrying external NodeIDs; edges are dense indices
 // 0..M()-1. The zero value is not usable; construct with New or NewWithIDs.
 type Graph struct {
-	ids     []NodeID
-	labels  []string
-	adj     [][]Arc
-	ends    [][2]int32
-	weights map[string][]float64
+	ids    []NodeID
+	labels []string
+	adj    [][]Arc
+	ends   [][2]int32
+	// identity is set while every node's ID equals its index (graph.New
+	// and netgen fields): IndexOf is then a bounds check, no storage.
+	// Otherwise index carries the id→index map, maintained across AddNode,
+	// so reverse lookup and the AddNode uniqueness check are O(1) — the
+	// incremental routing engine grows its graph one node at a time and a
+	// scanning check would make that growth quadratic.
+	identity bool
+	index    map[NodeID]int32
+	weights  map[string][]float64
 }
 
 // New returns a graph of n isolated nodes whose IDs are their indices.
@@ -56,17 +64,26 @@ func New(n int) *Graph {
 // NewWithIDs returns a graph whose node i carries ids[i]. IDs must be unique
 // since the selection algorithms use them as total tie-breakers.
 func NewWithIDs(ids []NodeID) (*Graph, error) {
-	seen := make(map[NodeID]struct{}, len(ids))
+	index := make(map[NodeID]int32, len(ids))
+	identity := true
 	for i, id := range ids {
-		if _, dup := seen[id]; dup {
+		if _, dup := index[id]; dup {
 			return nil, fmt.Errorf("graph: duplicate node id %d at index %d", id, i)
 		}
-		seen[id] = struct{}{}
+		index[id] = int32(i)
+		if id != NodeID(i) {
+			identity = false
+		}
+	}
+	if identity {
+		index = nil // IndexOf is a bounds check; no reverse storage needed
 	}
 	return &Graph{
-		ids:     append([]NodeID(nil), ids...),
-		adj:     make([][]Arc, len(ids)),
-		weights: make(map[string][]float64),
+		ids:      append([]NodeID(nil), ids...),
+		adj:      make([][]Arc, len(ids)),
+		identity: identity,
+		index:    index,
+		weights:  make(map[string][]float64),
 	}, nil
 }
 
@@ -79,12 +96,18 @@ func (g *Graph) M() int { return len(g.ends) }
 // ID returns the external identifier of node x.
 func (g *Graph) ID(x int32) NodeID { return g.ids[x] }
 
-// IndexOf returns the node index carrying id, or -1.
+// IndexOf returns the node index carrying id, or -1. It is O(1): identity
+// graphs answer with a bounds check, others through the maintained reverse
+// map.
 func (g *Graph) IndexOf(id NodeID) int32 {
-	for i, v := range g.ids {
-		if v == id {
-			return int32(i)
+	if g.identity {
+		if uint64(id) < uint64(len(g.ids)) {
+			return int32(id)
 		}
+		return -1
+	}
+	if i, ok := g.index[id]; ok {
+		return i
 	}
 	return -1
 }
@@ -132,19 +155,30 @@ func (g *Graph) AddEdge(a, b int32) (int, error) {
 // Appending never disturbs existing indices or edges, so incrementally
 // maintained artifacts (cached SPF solutions, adjacency references) survive
 // growth — canonical tie-breaking is by NodeID, not index, so index
-// assignment order cannot leak into results. The uniqueness check is a
-// linear scan; callers growing large graphs keep their own id→index map and
-// only call AddNode for genuinely new IDs.
+// assignment order cannot leak into results.
 func (g *Graph) AddNode(id NodeID) (int32, error) {
 	if g.IndexOf(id) >= 0 {
 		return 0, fmt.Errorf("graph: duplicate node id %d", id)
+	}
+	x := int32(len(g.ids))
+	if g.identity && id != NodeID(x) {
+		// The append breaks the identity mapping: materialise the reverse
+		// map the identity fast path made unnecessary so far.
+		g.identity = false
+		g.index = make(map[NodeID]int32, len(g.ids)+1)
+		for i, v := range g.ids {
+			g.index[v] = int32(i)
+		}
+	}
+	if !g.identity {
+		g.index[id] = x
 	}
 	g.ids = append(g.ids, id)
 	g.adj = append(g.adj, nil)
 	if g.labels != nil {
 		g.labels = append(g.labels, "")
 	}
-	return int32(len(g.ids) - 1), nil
+	return x, nil
 }
 
 // RemoveEdge deletes undirected edge e in O(degree): the last edge index is

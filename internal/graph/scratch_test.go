@@ -75,6 +75,46 @@ func TestScratchDijkstraMatchesOneShot(t *testing.T) {
 	}
 }
 
+// Shrinking the searched graph must not leak state from a larger earlier
+// search: every returned buffer is cut to the new size, the pop order stays
+// in range, and Reset releases the retained storage without affecting the
+// correctness of later searches.
+func TestScratchShrinkAndReset(t *testing.T) {
+	m := metric.Delay()
+	var s Scratch
+	big, bw := randomWeighted(t, 120, 0.1, m.Name(), 11)
+	s.Dijkstra(big, m, bw, 0, nil, -1)
+
+	small, sw := randomWeighted(t, 7, 0.5, m.Name(), 13)
+	got := s.Dijkstra(small, m, sw, 2, nil, -1)
+	if len(got.Dist) != small.N() || len(got.prev) != small.N() || len(got.hops) != small.N() {
+		t.Fatalf("buffer lengths (%d,%d,%d) not cut to n=%d after shrink",
+			len(got.Dist), len(got.prev), len(got.hops), small.N())
+	}
+	for _, x := range got.Reached {
+		if int(x) >= small.N() {
+			t.Fatalf("pop order contains %d, outside the %d-node graph", x, small.N())
+		}
+	}
+	want := Dijkstra(small, m, sw, 2, nil, -1)
+	for x := int32(0); int(x) < small.N(); x++ {
+		if want.Dist[x] != got.Dist[x] {
+			t.Fatalf("dist[%d] = %v after shrink, want %v", x, got.Dist[x], want.Dist[x])
+		}
+	}
+
+	s.Reset()
+	if s.sp.Dist != nil || s.sp.prev != nil || s.sp.hops != nil || s.sp.Reached != nil || s.done != nil || s.heap != nil {
+		t.Fatal("Reset left retained buffers behind")
+	}
+	got = s.Dijkstra(small, m, sw, 2, nil, -1)
+	for x := int32(0); int(x) < small.N(); x++ {
+		if want.Dist[x] != got.Dist[x] {
+			t.Fatalf("dist[%d] = %v after Reset, want %v", x, got.Dist[x], want.Dist[x])
+		}
+	}
+}
+
 // FirstHops must agree with per-destination PathTo extraction.
 func TestFirstHopsMatchesPathTo(t *testing.T) {
 	for _, m := range []metric.Metric{metric.Bandwidth(), metric.Delay()} {

@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"qolsr/internal/metric"
+)
+
+// benchGraph builds a connected random graph with ~deg mean degree: a
+// spanning path plus uniform chords, weighted on the metric's channel.
+func benchGraph(b *testing.B, n int, deg float64, m metric.Metric, seed int64) (*Graph, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	p := deg / float64(n-1)
+	for a := 0; a < n; a++ {
+		for c := a + 1; c < n; c++ {
+			if c != a+1 && rng.Float64() > p {
+				continue
+			}
+			e := g.MustAddEdge(int32(a), int32(c))
+			if err := g.SetWeight(m.Name(), e, 1+rng.Float64()*9); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	w, err := g.Weights(m.Name())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, w
+}
+
+// BenchmarkSPF measures one full scratch Dijkstra over random graphs of
+// growing size and density — the flat hot path every routing-table rebuild
+// bottoms out in. The source rotates so the search isn't pinned to one
+// corner of the graph.
+func BenchmarkSPF(b *testing.B) {
+	m := metric.Bandwidth()
+	for _, n := range []int{100, 1000, 5000} {
+		for _, deg := range []float64{6, 16} {
+			b.Run(fmt.Sprintf("n=%d/deg=%g", n, deg), func(b *testing.B) {
+				g, w := benchGraph(b, n, deg, m, int64(n)*31+int64(deg))
+				var s Scratch
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					src := int32(i*37) % int32(n)
+					sp := s.Dijkstra(g, m, w, src, nil, -1)
+					if len(sp.Reached) == 0 {
+						b.Fatal("empty search")
+					}
+				}
+			})
+		}
+	}
+}

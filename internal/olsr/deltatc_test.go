@@ -70,11 +70,11 @@ func TestGenerateTCUpdateDeltaChain(t *testing.T) {
 		t.Fatalf("reweight delta = %+v", d3)
 	}
 	r.HandleTCDelta(d3, 1, now)
-	if got := r.topology[1].links[2]; got != 6 {
+	if got, _ := advWeight(r.topology.get(1).adv, 2); got != 6 {
 		t.Fatalf("receiver link weight = %v after delta, want 6", got)
 	}
-	if !r.topology[1].synced || r.topology[1].chain != 2 {
-		t.Fatalf("receiver chain state = %+v", r.topology[1])
+	if !r.topology.get(1).synced || r.topology.get(1).chain != 2 {
+		t.Fatalf("receiver chain state = %+v", r.topology.get(1))
 	}
 
 	// The 4th emission (TCFullEvery = 4) refreshes with a full.
@@ -112,19 +112,19 @@ func TestHandleTCDeltaResyncOnGap(t *testing.T) {
 		t.Fatalf("second delta = %+v", d2)
 	}
 	r.HandleTCDelta(d2, 1, now)
-	cur := r.topology[1]
+	cur := r.topology.get(1)
 	if cur.synced {
 		t.Fatal("receiver still synced across a chain gap")
 	}
-	if cur.links[2] != 5 {
-		t.Fatalf("gapped receiver links = %v, want the pre-gap state kept", cur.links)
+	if w, _ := advWeight(cur.adv, 2); w != 5 {
+		t.Fatalf("gapped receiver links = %v, want the pre-gap state kept", cur.adv)
 	}
 
 	// Further deltas stay unappliable until a full rebases the chain.
 	now += 100 * time.Millisecond
 	_, d3, _ := a.GenerateTCUpdate(now)
 	r.HandleTCDelta(d3, 1, now)
-	if r.topology[1].synced {
+	if r.topology.get(1).synced {
 		t.Fatal("delta applied while desynchronised")
 	}
 	now += 100 * time.Millisecond
@@ -133,8 +133,8 @@ func TestHandleTCDeltaResyncOnGap(t *testing.T) {
 		t.Fatal("expected the periodic full refresh")
 	}
 	r.HandleTC(f, 1, now)
-	cur = r.topology[1]
-	if !cur.synced || cur.links[2] != 7 {
+	cur = r.topology.get(1)
+	if w, _ := advWeight(cur.adv, 2); !cur.synced || w != 7 {
 		t.Fatalf("full did not resync: %+v", cur)
 	}
 }
@@ -150,7 +150,7 @@ func TestHandleTCDeltaSharesDupWindow(t *testing.T) {
 	if r.HandleTCDelta(d, 2, now) {
 		t.Error("duplicate delta forwarded")
 	}
-	if r.topology[1].chain != 1 {
+	if r.topology.get(1).chain != 1 {
 		t.Error("duplicate delta re-applied")
 	}
 }

@@ -36,6 +36,8 @@ type pairKey struct {
 
 // markPair records that the effective link between a and b may have changed.
 // Self-pairs are ignored, mirroring the edge accumulator's self-loop skip.
+// The record is an append to the dirty list — the handlers' hot path —
+// deferring deduplication to the sort the consumer performs anyway.
 func (n *Node) markPair(a, b int64) {
 	if a == b {
 		return
@@ -43,25 +45,7 @@ func (n *Node) markPair(a, b int64) {
 	if a > b {
 		a, b = b, a
 	}
-	if n.dirty == nil {
-		n.dirty = make(map[pairKey]struct{})
-	}
-	n.dirty[pairKey{lo: a, hi: b}] = struct{}{}
-}
-
-// markLinkMapDiff marks every pair whose advertised weight differs between
-// an entry's old and new link sets (additions, removals and reweights).
-func (n *Node) markLinkMapDiff(origin int64, old, new map[int64]float64) {
-	for peer, w := range new {
-		if ow, ok := old[peer]; !ok || ow != w {
-			n.markPair(origin, peer)
-		}
-	}
-	for peer := range old {
-		if _, ok := new[peer]; !ok {
-			n.markPair(origin, peer)
-		}
-	}
+	n.dirty = append(n.dirty, pairKey{lo: a, hi: b})
 }
 
 // markNeighborPairs marks every pair the given neighbor's HELLO table
@@ -69,9 +53,9 @@ func (n *Node) markLinkMapDiff(origin int64, old, new map[int64]float64) {
 // link appearing or expiring), which changes the eligibility of all its
 // advertised links at once.
 func (n *Node) markNeighborPairs(nb int64) {
-	if tbl, ok := n.neighbors[nb]; ok {
-		for peer := range tbl.links {
-			n.markPair(nb, peer)
+	if tbl := n.neighbors.get(nb); tbl != nil {
+		for _, l := range tbl.adv {
+			n.markPair(nb, l.Neighbor)
 		}
 	}
 }
@@ -83,11 +67,11 @@ func (n *Node) markNeighborPairs(nb int64) {
 // wins). The second return is false when no valid state supports the link.
 func (n *Node) resolvePair(a, b int64) (float64, bool) {
 	if a == n.ID {
-		if l, ok := n.links[b]; ok {
+		if l, ok := n.links.get(b); ok {
 			return l.weight, true
 		}
 	} else if b == n.ID {
-		if l, ok := n.links[a]; ok {
+		if l, ok := n.links.get(a); ok {
 			return l.weight, true
 		}
 	}
@@ -101,13 +85,13 @@ func (n *Node) resolvePair(a, b int64) (float64, bool) {
 	if w, ok := n.helloAdvertised(hi, lo); ok {
 		return w, true
 	}
-	if t, ok := n.topology[lo]; ok {
-		if w, ok := t.links[hi]; ok {
+	if t := n.topology.get(lo); t != nil {
+		if w, ok := advWeight(t.adv, hi); ok {
 			return w, true
 		}
 	}
-	if t, ok := n.topology[hi]; ok {
-		if w, ok := t.links[lo]; ok {
+	if t := n.topology.get(hi); t != nil {
+		if w, ok := advWeight(t.adv, lo); ok {
 			return w, true
 		}
 	}
@@ -122,15 +106,14 @@ func (n *Node) helloAdvertised(nb, peer int64) (float64, bool) {
 	if nb == n.ID || peer == n.ID {
 		return 0, false
 	}
-	if _, direct := n.links[nb]; !direct {
+	if !n.links.has(nb) {
 		return 0, false
 	}
-	tbl, ok := n.neighbors[nb]
-	if !ok {
+	tbl := n.neighbors.get(nb)
+	if tbl == nil {
 		return 0, false
 	}
-	w, ok := tbl.links[peer]
-	return w, ok
+	return advWeight(tbl.adv, peer)
 }
 
 // applyPair reconciles one dirty pair: re-resolve its effective weight and
@@ -212,26 +195,21 @@ func (n *Node) incrementalRoutes() (*Routes, error) {
 		n.rindex = map[int64]int32{n.ID: 0}
 	}
 	if len(n.dirty) > 0 {
-		pairs := n.pairBuf[:0]
-		for p := range n.dirty {
-			pairs = append(pairs, p)
-		}
-		clear(n.dirty)
 		// Process in sorted order so node append order (hence index
-		// assignment) is a pure function of the protocol state, not of map
-		// iteration.
-		slices.SortFunc(pairs, func(a, b pairKey) int {
+		// assignment) is a pure function of the protocol state, not of
+		// arrival order; deduplicate so each pair resolves once.
+		slices.SortFunc(n.dirty, func(a, b pairKey) int {
 			if a.lo != b.lo {
 				return cmp.Compare(a.lo, b.lo)
 			}
 			return cmp.Compare(a.hi, b.hi)
 		})
-		for _, p := range pairs {
+		for _, p := range slices.Compact(n.dirty) {
 			if err := n.applyPair(p, channel); err != nil {
 				return nil, err
 			}
 		}
-		n.pairBuf = pairs[:0]
+		n.dirty = n.dirty[:0]
 	}
 	r := &Routes{}
 	if n.rspf == nil {
@@ -243,8 +221,12 @@ func (n *Node) incrementalRoutes() (*Routes, error) {
 			return nil, err
 		}
 		n.rspf = spf
-	} else if err := n.rspf.Repair(); err != nil {
-		return nil, err
+		n.stats.SPFFull++
+	} else {
+		if err := n.rspf.Repair(); err != nil {
+			return nil, err
+		}
+		n.stats.SPFIncremental++
 	}
 	// The permutation of indices in ascending NodeID order only changes when
 	// nodes are appended.

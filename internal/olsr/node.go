@@ -1,7 +1,6 @@
 package olsr
 
 import (
-	"cmp"
 	"fmt"
 	"math"
 	"slices"
@@ -40,6 +39,14 @@ type Config struct {
 	// LQWindow is the HELLO-history window measured ratios average over
 	// (default DefaultLQWindow). Only read under MeasuredQoS.
 	LQWindow int
+	// ExternalDupSuppression disables the node's own duplicate-suppression
+	// window for flooded TC-family messages: the embedding host guarantees
+	// each flooded (origin, seq) message is handed to the node at most
+	// once. The simulator owns one visited set per flood (a pooled bitset
+	// shared along the flood's relay chain), which replaces N per-node
+	// duplicate tables with one bit probe per delivery — the handlers then
+	// skip their own window entirely.
+	ExternalDupSuppression bool
 	// ExternalLinkSensing disables the protocol's own link sensing on
 	// HELLO receipt (both the oracle adoption of the sender's advertised
 	// weight and the MeasuredQoS delivery estimator): the embedding host
@@ -76,6 +83,16 @@ type Config struct {
 	// TopologyHoldTime or distant state thrashes between refresh and
 	// expiry.
 	FisheyeTTLs []int
+	// DenseIDs, when positive, declares that every node identifier in the
+	// field lies in [0, DenseIDs). The per-identifier soft-state tables
+	// (links, neighbor tables, topology, selectors) then use flat slot
+	// arrays indexed by the identifier itself instead of hash maps: the
+	// per-delivery probe becomes one bounds-checked load and ascending-ID
+	// iteration becomes the plain array walk, with identical observable
+	// behaviour (identifiers outside the declared range read as absent and
+	// are never retained). Zero keeps the map representation for arbitrary
+	// identifier spaces (the deployable daemon).
+	DenseIDs int
 	// FloodRelay selects a second relay set computed alongside the
 	// MPRHeuristic one, announced to neighbors as this node's relay choice
 	// and therefore gating TC forwarding (zero: the MPRHeuristic set
@@ -116,20 +133,19 @@ type linkEntry struct {
 }
 
 type neighborTable struct {
-	links map[int64]float64 // the neighbor's own links, from its HELLO
-	// adv is the advertisement the table was built from, retained for the
-	// re-announcement fast path: emitters publish replace-on-change link
-	// blocks (never mutated after emission), so one slices.Equal against
-	// the latest message detects the steady state without a map probe per
-	// link.
+	// adv is the neighbor's own link set from its HELLO, in normalised
+	// (sorted) form — the interned content itself, shared read-only with
+	// the emitter and every other receiver of the same block (see
+	// advert.go). Emitters publish replace-on-change blocks that are never
+	// mutated after emission, so the steady state detects itself with one
+	// pointer compare.
 	adv     []LinkInfo
 	expires time.Duration
 }
 
 type topoEntry struct {
 	ansn    uint16
-	links   map[int64]float64
-	adv     []LinkInfo // see neighborTable.adv
+	adv     []LinkInfo // normalised advertised set; see neighborTable.adv
 	expires time.Duration
 	// Delta-chain position (DeltaTC receivers): the entry holds the
 	// origin's state as of full TC fullSeq plus the first chain deltas.
@@ -149,6 +165,42 @@ type topoEntry struct {
 type dupSeq struct {
 	seq     uint16
 	expires time.Duration
+}
+
+// RebuildStats counts the node's routing-compute activity: how often
+// advertised content was re-announced unchanged (the interning fast paths)
+// versus actually changed, and how the routing table was repaired. The
+// counters are monotone over the node's lifetime; hosts diff snapshots to
+// window them.
+type RebuildStats struct {
+	// AdvRefresh counts ingested HELLO/TC-family announcements whose
+	// content matched the retained entry (deadline refresh only).
+	AdvRefresh uint64
+	// AdvShared counts the AdvRefresh subset detected by pointer identity
+	// with the retained block — the interned-epoch hit, where sender and
+	// receiver provably share one allocation.
+	AdvShared uint64
+	// AdvChange counts announcements that replaced the retained content
+	// and invalidated the routing caches.
+	AdvChange uint64
+	// TopoBuilds counts from-scratch known-topology graph materialisations
+	// (the full-rebuild path; the incremental engine avoids them).
+	TopoBuilds uint64
+	// SPFFull counts full shortest-path recomputations; SPFIncremental
+	// counts incremental repairs that reused the cached solution.
+	SPFFull        uint64
+	SPFIncremental uint64
+}
+
+// EpochHitRate returns the fraction of content-carrying announcements served
+// by the interning fast paths (refreshes over refreshes plus changes), or 0
+// before any announcement.
+func (s RebuildStats) EpochHitRate() float64 {
+	total := s.AdvRefresh + s.AdvChange
+	if total == 0 {
+		return 0
+	}
+	return float64(s.AdvRefresh) / float64(total)
 }
 
 // Route is one routing-table entry.
@@ -183,11 +235,14 @@ type Node struct {
 
 	// links are this node's own measured links (fed by the link oracle;
 	// metric computation is out of the paper's scope).
-	links map[int64]linkEntry
-	// neighbors holds per-neighbor HELLO state.
-	neighbors map[int64]neighborTable
-	// topology holds TC-learned advertised links per origin.
-	topology map[int64]topoEntry
+	links slotTable[linkEntry]
+	// neighbors holds per-neighbor HELLO state. Entries are pointers so the
+	// steady-state refresh (every HELLO period, per neighbor) mutates the
+	// deadline through one table probe instead of a lookup-plus-store pair.
+	neighbors ptrTable[neighborTable]
+	// topology holds TC-learned advertised links per origin; pointers for
+	// the same reason — every TC delivery refreshes its origin's entry.
+	topology ptrTable[topoEntry]
 	// dups suppresses re-flooding (origin, seq) pairs, held per origin: a
 	// probe is one small-int-keyed map access plus a scan of the origin's
 	// few live entries (about hold-time/TC-interval of them), and expired
@@ -216,8 +271,8 @@ type Node struct {
 
 	mprSet    []int64
 	ansSet    []int64
-	relaySet  []int64                 // flooding relay set announced in HELLOs (== mprSet unless Config.FloodRelay)
-	selectors map[int64]time.Duration // nodes that chose us as MPR
+	relaySet  []int64                  // flooding relay set announced in HELLOs (== mprSet unless Config.FloodRelay)
+	selectors slotTable[time.Duration] // nodes that chose us as MPR, by selection deadline
 
 	// Delta-TC emission state (GenerateTCUpdate): the emission counter
 	// driving the fish-eye/full-refresh schedules, and the chain anchor —
@@ -263,17 +318,32 @@ type Node struct {
 	sp          graph.Scratch
 	first, hops []int32
 
-	// Incremental routing state (see incremental.go): the dirty pair set
-	// accumulated by the handlers, the long-lived routing graph with its
-	// id-to-index map and incremental SPF solution, the ascending-ID index
-	// permutation for table extraction, and reusable scratch.
-	dirty   map[pairKey]struct{}
-	rg      *graph.Graph
-	rindex  map[int64]int32
-	rspf    *graph.SPF
-	perm    []int32
-	rfirst  []int32
-	pairBuf []pairKey
+	// Incremental routing state (see incremental.go): the dirty pair list
+	// accumulated by the handlers (append-only between rebuilds, sorted
+	// and deduplicated when consumed), the long-lived routing graph with
+	// its id-to-index map and incremental SPF solution, and the
+	// ascending-ID index permutation for table extraction.
+	dirty  []pairKey
+	rg     *graph.Graph
+	rindex map[int64]int32
+	rspf   *graph.SPF
+	perm   []int32
+	rfirst []int32
+
+	// stats counts rebuild and interning activity (see RebuildStats).
+	stats RebuildStats
+}
+
+// RebuildStats returns a snapshot of the node's rebuild counters.
+func (n *Node) RebuildStats() RebuildStats { return n.stats }
+
+// RoutesDirty reports whether the next Routes call must rebuild the table —
+// the protocol state (after expiring what is stale as of now) moved past
+// the cached snapshot. Hosts batching table rebuilds use it to tell a
+// rebuild from a cache hit.
+func (n *Node) RoutesDirty(now time.Duration) bool {
+	n.expire(now)
+	return n.routes == nil || n.routesAt != n.topoVersion
 }
 
 // NewNode returns a node with the given identity and configuration.
@@ -309,16 +379,23 @@ func NewNode(id int64, cfg Config) (*Node, error) {
 		// and could never apply a delta — the combination cannot converge.
 		return nil, fmt.Errorf("olsr: DeltaTC with fish-eye scoping needs an unlimited (0) schedule entry")
 	}
-	return &Node{
+	if cfg.DenseIDs < 0 {
+		return nil, fmt.Errorf("olsr: negative DenseIDs %d", cfg.DenseIDs)
+	}
+	if cfg.DenseIDs > 0 && !slotIn(id, cfg.DenseIDs) {
+		return nil, fmt.Errorf("olsr: node id %d outside declared dense range [0, %d)", id, cfg.DenseIDs)
+	}
+	n := &Node{
 		ID:         id,
 		cfg:        cfg,
-		links:      make(map[int64]linkEntry),
-		neighbors:  make(map[int64]neighborTable),
-		topology:   make(map[int64]topoEntry),
 		dups:       make(map[int64][]dupSeq),
-		selectors:  make(map[int64]time.Duration),
 		nextExpiry: noExpiry,
-	}, nil
+	}
+	n.links.init(cfg.DenseIDs)
+	n.neighbors.init(cfg.DenseIDs)
+	n.topology.init(cfg.DenseIDs)
+	n.selectors.init(cfg.DenseIDs)
+	return n, nil
 }
 
 // touchNeighborhood records a content change to links or neighbor tables,
@@ -355,8 +432,8 @@ func (n *Node) UpdateLink(neighbor int64, weight float64, now time.Duration) {
 		return // no self-links
 	}
 	e := linkEntry{weight: weight, expires: now + n.cfg.NeighborHoldTime}
-	old, ok := n.links[neighbor]
-	n.links[neighbor] = e
+	old, ok := n.links.get(neighbor)
+	n.links.put(neighbor, e)
 	n.track(e.expires)
 	if !ok || old.weight != weight {
 		n.touchNeighborhood()
@@ -382,12 +459,14 @@ func (n *Node) expire(now time.Duration) {
 }
 
 // expireScan is expire's slow path: one scan over the deadline-carrying
-// state maps, dropping everything stale and re-deriving the watermark.
+// state tables, dropping everything stale and re-deriving the watermark.
+// Visit order is free here — every drop records commutative dirty pairs and
+// the watermark is a min — so the unordered walk suffices.
 func (n *Node) expireScan(now time.Duration) {
 	next := noExpiry
-	for id, l := range n.links {
+	n.links.each(func(id int64, l *linkEntry) {
 		if l.expires <= now {
-			delete(n.links, id)
+			n.links.del(id)
 			n.touchNeighborhood()
 			n.markPair(n.ID, id)
 			// The neighbor stopped being direct: its HELLO-advertised
@@ -396,36 +475,36 @@ func (n *Node) expireScan(now time.Duration) {
 		} else if l.expires < next {
 			next = l.expires
 		}
-	}
-	for id, t := range n.neighbors {
+	})
+	n.neighbors.each(func(id int64, t *neighborTable) {
 		if t.expires <= now {
-			delete(n.neighbors, id)
+			n.neighbors.del(id)
 			n.touchNeighborhood()
-			for peer := range t.links {
-				n.markPair(id, peer)
+			for _, l := range t.adv {
+				n.markPair(id, l.Neighbor)
 			}
 		} else if t.expires < next {
 			next = t.expires
 		}
-	}
-	for id, t := range n.topology {
+	})
+	n.topology.each(func(id int64, t *topoEntry) {
 		if t.expires <= now {
-			delete(n.topology, id)
+			n.topology.del(id)
 			n.touchTopology()
-			for peer := range t.links {
-				n.markPair(id, peer)
+			for _, l := range t.adv {
+				n.markPair(id, l.Neighbor)
 			}
 		} else if t.expires < next {
 			next = t.expires
 		}
-	}
-	for id, e := range n.selectors {
-		if e <= now {
-			delete(n.selectors, id)
-		} else if e < next {
-			next = e
+	})
+	n.selectors.each(func(id int64, e *time.Duration) {
+		if *e <= now {
+			n.selectors.del(id)
+		} else if *e < next {
+			next = *e
 		}
-	}
+	})
 	for id, e := range n.lq {
 		if e.expires <= now {
 			// Dropping an estimator is not a content change: the links
@@ -445,11 +524,10 @@ func (n *Node) GenerateHello(now time.Duration) *Hello {
 	n.recompute()
 	if n.helloAdv == nil || n.helloAt != n.nhVersion {
 		n.helloAt = n.nhVersion
-		adv := make([]LinkInfo, 0, len(n.links))
-		for id, l := range n.links {
+		adv := make([]LinkInfo, 0, n.links.len())
+		n.links.eachAsc(func(id int64, l *linkEntry) {
 			adv = append(adv, LinkInfo{Neighbor: id, Weight: l.weight})
-		}
-		slices.SortFunc(adv, func(a, b LinkInfo) int { return cmp.Compare(a.Neighbor, b.Neighbor) })
+		})
 		n.helloAdv = adv
 	}
 	// The link block and relay set are shared read-only (both replaced,
@@ -501,36 +579,44 @@ func (n *Node) HandleHello(h *Hello, now time.Duration) {
 	for _, m := range h.MPRs {
 		if m == n.ID {
 			deadline := now + n.cfg.NeighborHoldTime
-			n.selectors[h.Origin] = deadline
+			n.selectors.put(h.Origin, deadline)
 			n.track(deadline)
 		}
 	}
-	old, known := n.neighbors[h.Origin]
-	// The steady-state HELLO re-announces an unchanged link block (the
-	// retained adv slice compares equal): refresh the deadline on the
-	// existing table without building a new one. Only the advertised links
+	tbl := n.neighbors.get(h.Origin)
+	// The steady-state HELLO re-announces an unchanged link block — in the
+	// common case the very same shared slice the previous announcement
+	// carried, detected by pointer identity: refresh the deadline on the
+	// existing table without touching content. Only the advertised links
 	// feed the derived state, so equal content means every cached artifact
 	// stays valid. An equal-content message with a differently ordered
 	// block merely takes the slow path and rebuilds to identical state.
-	if known && slices.Equal(old.adv, h.Links) {
-		old.expires = now + n.cfg.NeighborHoldTime
-		n.neighbors[h.Origin] = old
-		n.track(old.expires)
+	if tbl != nil && sameAdv(tbl.adv, h.Links) {
+		if sharedAdv(tbl.adv, h.Links) {
+			n.stats.AdvShared++
+		}
+		n.stats.AdvRefresh++
+		tbl.expires = now + n.cfg.NeighborHoldTime
+		n.track(tbl.expires)
 		return
 	}
-	tbl := neighborTable{
-		links:   make(map[int64]float64, len(h.Links)),
-		adv:     h.Links,
-		expires: now + n.cfg.NeighborHoldTime,
+	adv := normalizeAdv(h.Links)
+	var old []LinkInfo
+	if tbl == nil {
+		tbl = &neighborTable{}
+		n.neighbors.insert(h.Origin, tbl)
+	} else {
+		old = tbl.adv
 	}
-	for _, l := range h.Links {
-		tbl.links[l.Neighbor] = l.Weight
-	}
-	n.neighbors[h.Origin] = tbl
+	tbl.adv = adv
+	tbl.expires = now + n.cfg.NeighborHoldTime
 	n.track(tbl.expires)
-	if !known || !equalLinkMaps(old.links, tbl.links) {
+	if !slices.Equal(old, adv) {
+		n.stats.AdvChange++
 		n.touchNeighborhood()
-		n.markLinkMapDiff(h.Origin, old.links, tbl.links)
+		n.markAdvDiff(h.Origin, old, adv)
+	} else {
+		n.stats.AdvRefresh++
 	}
 }
 
@@ -557,7 +643,7 @@ func (n *Node) currentTCAdv() []LinkInfo {
 		n.tcAt = n.nhVersion
 		adv := make([]LinkInfo, 0, len(n.ansSet))
 		for _, id := range n.ansSet {
-			if l, ok := n.links[id]; ok {
+			if l, ok := n.links.get(id); ok {
 				adv = append(adv, LinkInfo{Neighbor: id, Weight: l.weight})
 			}
 		}
@@ -668,64 +754,48 @@ func diffAdv(old, cur []LinkInfo) (add []LinkInfo, del []int64) {
 // state until rebased or expired.
 func (n *Node) HandleTCDelta(d *TCDelta, sender int64, now time.Duration) (forward bool) {
 	n.expire(now)
-	if n.dupSeen(d.Origin, d.Seq, now) {
+	if !n.cfg.ExternalDupSuppression && n.dupSeen(d.Origin, d.Seq, now) {
 		return false
 	}
 	if d.Origin != n.ID {
 		n.applyTCDelta(d, now)
 	}
-	_, senderSelectedUs := n.selectors[sender]
-	return senderSelectedUs
+	return n.selectors.has(sender)
 }
 
 // applyTCDelta merges an in-chain delta into the origin's topology entry,
 // or flags the entry desynchronised on a chain gap.
 func (n *Node) applyTCDelta(d *TCDelta, now time.Duration) {
-	cur, ok := n.topology[d.Origin]
-	if !ok || !cur.synced || cur.fullSeq != d.FullSeq || d.Index != cur.chain+1 {
-		if ok && cur.synced && cur.fullSeq == d.FullSeq && d.Index <= cur.chain {
-			// At or below the applied chain position: a stale
-			// reordering, not a desync.
-			return
-		}
-		if ok && cur.synced {
+	cur := n.topology.get(d.Origin)
+	if cur == nil || !cur.synced || cur.fullSeq != d.FullSeq || d.Index != cur.chain+1 {
+		if cur != nil && cur.synced {
+			if cur.fullSeq == d.FullSeq && d.Index <= cur.chain {
+				// At or below the applied chain position: a stale
+				// reordering, not a desync.
+				return
+			}
 			cur.synced = false
-			n.topology[d.Origin] = cur
 		}
 		return
 	}
 	cur.chain = d.Index
 	cur.ansn = d.ANSN
 	cur.expires = now + n.cfg.TopologyHoldTime
+	n.track(cur.expires)
 	if len(d.Add) == 0 && len(d.Del) == 0 {
 		// The steady-state keepalive: refresh in place, no rebuild and no
 		// cache invalidation.
-		n.topology[d.Origin] = cur
-		n.track(cur.expires)
 		return
 	}
-	links := make(map[int64]float64, len(cur.links)+len(d.Add))
-	for k, v := range cur.links {
-		links[k] = v
-	}
-	for _, id := range d.Del {
-		delete(links, id)
-	}
-	for _, l := range d.Add {
-		links[l.Neighbor] = l.Weight
-	}
-	adv := make([]LinkInfo, 0, len(links))
-	for _, id := range sortedKeys(links) {
-		adv = append(adv, LinkInfo{Neighbor: id, Weight: links[id]})
-	}
-	old := cur.links
-	cur.links = links
+	adv := applyDeltaToAdv(cur.adv, normalizeAdv(d.Add), normalizeDel(d.Del))
+	old := cur.adv
 	cur.adv = adv
-	n.topology[d.Origin] = cur
-	n.track(cur.expires)
-	if !equalLinkMaps(old, links) {
+	if !slices.Equal(old, adv) {
+		n.stats.AdvChange++
 		n.touchTopology()
-		n.markLinkMapDiff(d.Origin, old, links)
+		n.markAdvDiff(d.Origin, old, adv)
+	} else {
+		n.stats.AdvRefresh++
 	}
 }
 
@@ -735,47 +805,53 @@ func (n *Node) applyTCDelta(d *TCDelta, now time.Duration) {
 // re-advertises an origin's known link set only refreshes its deadline.
 func (n *Node) HandleTC(t *TC, sender int64, now time.Duration) (forward bool) {
 	n.expire(now)
-	if n.dupSeen(t.Origin, t.Seq, now) {
+	if !n.cfg.ExternalDupSuppression && n.dupSeen(t.Origin, t.Seq, now) {
 		return false
 	}
 	if t.Origin != n.ID {
-		cur, ok := n.topology[t.Origin]
+		cur := n.topology.get(t.Origin)
 		// Accept unless stale (ANSN regression within the validity
 		// window).
 		switch {
-		case ok && ansnNewer(cur.ansn, t.ANSN):
+		case cur != nil && ansnNewer(cur.ansn, t.ANSN):
 			// Stale: ignore.
-		case ok && slices.Equal(cur.adv, t.Links):
-			// The steady-state TC re-advertises an unchanged link block:
+		case cur != nil && sameAdv(cur.adv, t.Links):
+			// The steady-state TC re-advertises an unchanged link block —
+			// usually the very shared slice the previous flood carried:
 			// refresh the entry in place, no rebuild and no cache
 			// invalidation. A full TC is always a valid chain anchor.
+			if sharedAdv(cur.adv, t.Links) {
+				n.stats.AdvShared++
+			}
+			n.stats.AdvRefresh++
 			cur.ansn = t.ANSN
 			cur.expires = now + n.cfg.TopologyHoldTime
 			cur.fullSeq, cur.chain, cur.synced = t.Seq, 0, true
-			n.topology[t.Origin] = cur
 			n.track(cur.expires)
 		default:
-			entry := topoEntry{
-				ansn:    t.ANSN,
-				links:   make(map[int64]float64, len(t.Links)),
-				adv:     t.Links,
-				expires: now + n.cfg.TopologyHoldTime,
-				fullSeq: t.Seq,
-				synced:  true,
+			adv := normalizeAdv(t.Links)
+			var old []LinkInfo
+			if cur == nil {
+				cur = &topoEntry{}
+				n.topology.insert(t.Origin, cur)
+			} else {
+				old = cur.adv
 			}
-			for _, l := range t.Links {
-				entry.links[l.Neighbor] = l.Weight
-			}
-			n.topology[t.Origin] = entry
-			n.track(entry.expires)
-			if !ok || !equalLinkMaps(cur.links, entry.links) {
+			cur.ansn = t.ANSN
+			cur.adv = adv
+			cur.expires = now + n.cfg.TopologyHoldTime
+			cur.fullSeq, cur.chain, cur.synced = t.Seq, 0, true
+			n.track(cur.expires)
+			if !slices.Equal(old, adv) {
+				n.stats.AdvChange++
 				n.touchTopology()
-				n.markLinkMapDiff(t.Origin, cur.links, entry.links)
+				n.markAdvDiff(t.Origin, old, adv)
+			} else {
+				n.stats.AdvRefresh++
 			}
 		}
 	}
-	_, senderSelectedUs := n.selectors[sender]
-	return senderSelectedUs
+	return n.selectors.has(sender)
 }
 
 // dupSeen probes (and on a first sighting, records) the (origin, seq)
@@ -867,21 +943,6 @@ func equalIDs(a, b []int64) bool {
 	return true
 }
 
-// equalLinkMaps reports whether two advertised link sets carry identical
-// content — the test deciding whether a re-announcement can leave the cached
-// derivations untouched.
-func equalLinkMaps(a, b map[int64]float64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k, v := range a {
-		if bv, ok := b[k]; !ok || bv != v {
-			return false
-		}
-	}
-	return true
-}
-
 // sortedKeys returns a map's keys in ascending order. The node's tables are
 // Go maps, whose iteration order is randomized per range: everything
 // derived from them (graph edge insertion order, hence Dijkstra tie-breaks,
@@ -950,34 +1011,35 @@ func (b *buildScratch) materialise() (*graph.Graph, error) {
 func (n *Node) collectNeighborhoodIDs() {
 	b := &n.build
 	b.addID(n.ID)
-	for id := range n.links {
+	n.links.each(func(id int64, _ *linkEntry) {
 		b.addID(id)
-	}
-	for _, tbl := range n.neighbors {
-		for id := range tbl.links {
-			b.addID(id)
+	})
+	n.neighbors.each(func(_ int64, tbl *neighborTable) {
+		for _, l := range tbl.adv {
+			b.addID(l.Neighbor)
 		}
-	}
+	})
 }
 
 // accumulateNeighborhood stages this node's own links and the two-hop links
 // learned from HELLOs, in sorted-key order with own links taking precedence.
 func (n *Node) accumulateNeighborhood() {
 	acc := &n.build.acc
-	for _, id := range sortedKeys(n.links) {
-		acc.Add(graph.NodeID(n.ID), graph.NodeID(id), n.links[id].weight)
-	}
-	for _, nb := range sortedKeys(n.neighbors) {
-		if _, direct := n.links[nb]; !direct {
-			continue
+	n.links.eachAsc(func(id int64, l *linkEntry) {
+		acc.Add(graph.NodeID(n.ID), graph.NodeID(id), l.weight)
+	})
+	n.neighbors.eachAsc(func(nb int64, tbl *neighborTable) {
+		if !n.links.has(nb) {
+			return
 		}
-		tbl := n.neighbors[nb]
-		for _, peer := range sortedKeys(tbl.links) {
-			if peer != n.ID {
-				acc.Add(graph.NodeID(nb), graph.NodeID(peer), tbl.links[peer])
+		// adv is normalised (ascending by Neighbor): iterating it directly
+		// preserves the sorted-key insertion order determinism demands.
+		for _, l := range tbl.adv {
+			if l.Neighbor != n.ID {
+				acc.Add(graph.NodeID(nb), graph.NodeID(l.Neighbor), l.Weight)
 			}
 		}
-	}
+	})
 }
 
 // localView materialises the node's current knowledge of G_u as a graph and
@@ -997,7 +1059,7 @@ func (n *Node) localView() (*graph.LocalView, *graph.Graph, []float64, error) {
 }
 
 func (n *Node) buildLocalView() (*graph.LocalView, *graph.Graph, []float64, error) {
-	if len(n.links) == 0 {
+	if n.links.len() == 0 {
 		return nil, nil, nil, nil
 	}
 	b := &n.build
@@ -1046,11 +1108,10 @@ func (n *Node) ANS(now time.Duration) []int64 {
 // Selectors returns the nodes that currently select this node as MPR.
 func (n *Node) Selectors(now time.Duration) []int64 {
 	n.expire(now)
-	out := make([]int64, 0, len(n.selectors))
-	for id := range n.selectors {
+	out := make([]int64, 0, n.selectors.len())
+	n.selectors.eachAsc(func(id int64, _ *time.Duration) {
 		out = append(out, id)
-	}
-	slices.Sort(out)
+	})
 	return out
 }
 
@@ -1082,15 +1143,16 @@ func (n *Node) knownTopology() (*graph.Graph, error) {
 }
 
 func (n *Node) buildKnownTopology() (*graph.Graph, error) {
+	n.stats.TopoBuilds++
 	b := &n.build
 	b.reset()
 	n.collectNeighborhoodIDs()
-	for origin, t := range n.topology {
+	n.topology.each(func(origin int64, t *topoEntry) {
 		b.addID(origin)
-		for id := range t.links {
-			b.addID(id)
+		for _, l := range t.adv {
+			b.addID(l.Neighbor)
 		}
-	}
+	})
 	g, err := b.materialise()
 	if err != nil {
 		return nil, err
@@ -1101,12 +1163,11 @@ func (n *Node) buildKnownTopology() (*graph.Graph, error) {
 	// insertion order decides Dijkstra tie-breaks downstream, so it must
 	// be a pure function of the protocol state, not of map iteration.
 	n.accumulateNeighborhood()
-	for _, origin := range sortedKeys(n.topology) {
-		t := n.topology[origin]
-		for _, peer := range sortedKeys(t.links) {
-			b.acc.Add(graph.NodeID(origin), graph.NodeID(peer), t.links[peer])
+	n.topology.eachAsc(func(origin int64, t *topoEntry) {
+		for _, l := range t.adv {
+			b.acc.Add(graph.NodeID(origin), graph.NodeID(l.Neighbor), l.Weight)
 		}
-	}
+	})
 	b.acc.Build(g, b.index, channel)
 	return g, nil
 }

@@ -92,6 +92,11 @@ type jsonSample struct {
 	TrafficCompleted  int     `json:"traffic_completed,omitempty"`
 	TrafficDelivered  int     `json:"traffic_delivered,omitempty"`
 	TrafficThroughput float64 `json:"traffic_throughput_bps,omitempty"`
+	// Rebuild-observability window fields.
+	TopoBuilds     int     `json:"topo_builds"`
+	SPFFull        int     `json:"spf_full"`
+	SPFIncremental int     `json:"spf_incremental"`
+	SharedAdvRate  float64 `json:"shared_adv_rate"`
 }
 
 type jsonReconvergence struct {
@@ -118,6 +123,18 @@ type jsonTotals struct {
 	DataExpired   uint64 `json:"data_expired"`
 }
 
+// jsonRebuild is one run's routing-compute totals: advertisement interning
+// hits, topology builds, and the full/incremental SPF split.
+type jsonRebuild struct {
+	AdvRefresh     uint64  `json:"adv_refresh"`
+	AdvShared      uint64  `json:"adv_shared"`
+	AdvChange      uint64  `json:"adv_change"`
+	TopoBuilds     uint64  `json:"topo_builds"`
+	SPFFull        uint64  `json:"spf_full"`
+	SPFIncremental uint64  `json:"spf_incremental"`
+	EpochHitRate   float64 `json:"epoch_hit_rate"`
+}
+
 type jsonRun struct {
 	Run           int                 `json:"run"`
 	Nodes         int                 `json:"nodes"`
@@ -125,6 +142,7 @@ type jsonRun struct {
 	Samples       []jsonSample        `json:"samples"`
 	Reconvergence []jsonReconvergence `json:"reconvergence,omitempty"`
 	Totals        jsonTotals          `json:"totals"`
+	Rebuild       jsonRebuild         `json:"rebuild"`
 	Traffic       *jsonTraffic        `json:"traffic,omitempty"`
 }
 
@@ -280,6 +298,10 @@ func sampleJSON(s Sample) jsonSample {
 		TrafficCompleted:  s.TrafficCompleted,
 		TrafficDelivered:  s.TrafficDelivered,
 		TrafficThroughput: r6(s.TrafficThroughputBps),
+		TopoBuilds:        s.TopoBuilds,
+		SPFFull:           s.SPFFull,
+		SPFIncremental:    s.SPFIncremental,
+		SharedAdvRate:     r6(s.SharedAdvRate),
 	}
 }
 
@@ -343,6 +365,15 @@ func (r *Result) EncodeJSON(w io.Writer) error {
 				DataNoRoute:   run.Data.NoRoute,
 				DataLost:      run.Data.Lost,
 				DataExpired:   run.Data.Expired,
+			},
+			Rebuild: jsonRebuild{
+				AdvRefresh:     run.Rebuild.AdvRefresh,
+				AdvShared:      run.Rebuild.AdvShared,
+				AdvChange:      run.Rebuild.AdvChange,
+				TopoBuilds:     run.Rebuild.TopoBuilds,
+				SPFFull:        run.Rebuild.SPFFull,
+				SPFIncremental: run.Rebuild.SPFIncremental,
+				EpochHitRate:   r6(run.Rebuild.EpochHitRate()),
 			},
 			Traffic: trafficJSON(run.Traffic),
 		}
@@ -424,6 +455,10 @@ func (r *Result) EncodeCSV(w io.Writer) error {
 				{"control_bps", fmt.Sprintf("%.6f", r6(s.ControlBPS))},
 				{"tc_fwd_bps", fmt.Sprintf("%.6f", r6(s.TCFwdBPS))},
 				{"set_size", fmt.Sprintf("%.6f", r6(s.SetSize))},
+				{"topo_builds", fmt.Sprintf("%d", s.TopoBuilds)},
+				{"spf_full", fmt.Sprintf("%d", s.SPFFull)},
+				{"spf_incremental", fmt.Sprintf("%d", s.SPFIncremental)},
+				{"shared_adv_rate", fmt.Sprintf("%.6f", r6(s.SharedAdvRate))},
 			}
 			if run.Traffic != nil {
 				cells = append(cells,

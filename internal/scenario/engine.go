@@ -127,6 +127,7 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 		}
 	}
 	flows := drawFlows(flowCount, nw.Phys.N(), deriveSeed(seed, "traffic", run))
+	sources := flowSources(flows)
 
 	if ms != nil {
 		ms.Start()
@@ -198,6 +199,7 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 		prevT    time.Duration
 		prevCtrl ctrlSnapshot
 		prevCnt  traffic.Counters
+		prevReb  olsr.RebuildStats
 	)
 	for _, t := range sc.SampleTimes() {
 		if err := ctx.Err(); err != nil {
@@ -207,10 +209,25 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 		if phaseErr != nil {
 			return nil, phaseErr
 		}
+		// Rebuild barrier: bring every flow source's routing table up to
+		// date before measuring, fanning the SPF work across the worker
+		// budget. The tables measure and the data plane then read are
+		// cache hits; results are bit-identical at every worker count.
+		if _, err := nw.RebuildRoutes(sources, sc.Workers); err != nil {
+			return nil, fmt.Errorf("scenario %s: route rebuild at %v: %w", sc.Name, t, err)
+		}
 		s, ctrl, err := measure(nw, cfg.Metric, channel, flows, t, prevT, prevCtrl, drain, eng, prevCnt)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: sample at %v: %w", sc.Name, t, err)
 		}
+		reb := nw.RebuildTotals()
+		s.TopoBuilds = int(reb.TopoBuilds - prevReb.TopoBuilds)
+		s.SPFFull = int(reb.SPFFull - prevReb.SPFFull)
+		s.SPFIncremental = int(reb.SPFIncremental - prevReb.SPFIncremental)
+		if refr, chg := reb.AdvRefresh-prevReb.AdvRefresh, reb.AdvChange-prevReb.AdvChange; refr+chg > 0 {
+			s.SharedAdvRate = float64(refr) / float64(refr+chg)
+		}
+		prevReb = reb
 		prevT = t
 		prevCtrl = ctrl
 		if eng != nil {
@@ -244,6 +261,7 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 	res.Reconvergence = reconvergence(res.Samples, disruptions, sc.Duration)
 	res.Control = nw.Stats
 	res.Data = nw.Data
+	res.Rebuild = nw.RebuildTotals()
 	if ms != nil {
 		res.Rebuilds = ms.Rebuilds
 	}
@@ -541,6 +559,21 @@ func protocolConfig(p Protocol) (olsr.Config, error) {
 		cfg.TopologyHoldTime = 3 * p.TCInterval
 	}
 	return cfg, nil
+}
+
+// flowSources returns the unique flow sources in ascending index order —
+// the node set whose routing tables every sample barrier brings up to date.
+func flowSources(flows []flow) []int32 {
+	seen := make(map[int32]bool, len(flows))
+	out := make([]int32, 0, len(flows))
+	for _, f := range flows {
+		if !seen[f.src] {
+			seen[f.src] = true
+			out = append(out, f.src)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // drawFlows picks the persistent flow endpoints: uniform ordered

@@ -3,6 +3,7 @@ package scenario
 import (
 	"time"
 
+	"qolsr/internal/olsr"
 	"qolsr/internal/sim"
 	"qolsr/internal/stats"
 	"qolsr/internal/traffic"
@@ -67,6 +68,20 @@ type Sample struct {
 	// TrafficThroughputBps is the delivered payload rate over the window,
 	// bytes per virtual second.
 	TrafficThroughputBps float64
+
+	// Rebuild-observability fields: routing-compute activity across all
+	// nodes in the window ending at Time (see olsr.RebuildStats).
+
+	// TopoBuilds counts topology-graph materialisations in the window.
+	TopoBuilds int
+	// SPFFull and SPFIncremental split the window's shortest-path
+	// recomputations into full Dijkstra runs and incremental repairs.
+	SPFFull        int
+	SPFIncremental int
+	// SharedAdvRate is the fraction of ingested advertisements in the
+	// window that left the stored set untouched (the shared-epoch hit
+	// rate; 0 when the window ingested nothing).
+	SharedAdvRate float64
 }
 
 // Reconvergence reports how the protocol recovered from one disruptive
@@ -116,6 +131,10 @@ type RunResult struct {
 	Traffic *traffic.Report
 	// Rebuilds counts mobility topology refreshes (0 when static).
 	Rebuilds int
+	// Rebuild is the run's final routing-compute totals summed across
+	// nodes: advertisement interning hits, topology builds, and the
+	// full/incremental SPF split.
+	Rebuild olsr.RebuildStats
 }
 
 // Result is a completed scenario execution: Runs replicate runs of the same

@@ -217,6 +217,11 @@ type Scenario struct {
 	// SampleEvery is the measurement cadence (default 2s, minimum 100ms
 	// so probe packets drain between samples).
 	SampleEvery time.Duration
+	// Workers bounds the goroutines the engine fans route-table rebuilds
+	// across at each sample barrier (0 = GOMAXPROCS, 1 = serial). It
+	// affects wall-clock time only: each node's table is a pure function
+	// of that node's state, so results are bit-identical at every setting.
+	Workers int
 }
 
 // WithDefaults returns a copy with every unset knob at its default.

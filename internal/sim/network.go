@@ -67,6 +67,7 @@ type Network struct {
 	framePool []*controlFrame
 	hopPool   []*frameHop
 	pktPool   []*dataPacket
+	floodPool []*floodState
 	unicast   [1]int32 // data-plane next-hop scratch (kept off the heap)
 	// idealHop short-circuits data-plane frame planning on the ideal
 	// medium: its unicast plan is always {next, idealHop} with no medium
@@ -114,6 +115,22 @@ func NewNetwork(phys *graph.Graph, cfg olsr.Config, opts NetworkOptions) (*Netwo
 	medium := opts.Medium
 	if medium == nil {
 		medium = NewIdealMedium(opts.PropDelay)
+	}
+	// The simulator owns flood duplicate suppression (one pooled visited
+	// bitset per flood, shared along the relay chain — see floodState), so
+	// the nodes skip their own per-origin windows. Observably identical,
+	// and one bit probe replaces a map access per TC delivery.
+	cfg.ExternalDupSuppression = true
+	// Declare the dense identifier space when the graph's IDs are exactly
+	// [0, N) — netgen-built fields always are — so every node's soft-state
+	// tables use flat slot arrays instead of hash maps (olsr.Config.DenseIDs).
+	// Graphs with arbitrary IDs (NewWithIDs) keep the map representation.
+	cfg.DenseIDs = phys.N()
+	for x := int32(0); int(x) < phys.N(); x++ {
+		if int64(phys.ID(x)) != int64(x) {
+			cfg.DenseIDs = 0
+			break
+		}
 	}
 	nw := &Network{
 		Engine:   &Engine{},
@@ -236,7 +253,7 @@ func (nw *Network) emitHelloNow(i int) {
 	// the wire codec is canonical (Unmarshal(Marshal(h)) reproduces h, the
 	// fuzzers pin it), so decoding per receiver would only re-derive what
 	// the sender already holds.
-	nw.broadcastFrame(int32(i), buf, h, nil, nil, 0)
+	nw.broadcastFrame(int32(i), buf, h, nil, nil, 0, nil)
 }
 
 func (nw *Network) emitTCNow(i int) {
@@ -255,7 +272,7 @@ func (nw *Network) emitTCNow(i int) {
 		nw.Stats.TCMessages++
 		nw.Stats.TCBytes += uint64(len(buf))
 		nw.Stats.TCOriginatedBytes += uint64(len(buf))
-		nw.broadcastFrame(int32(i), buf, nil, full, delta, int32(ttl))
+		nw.broadcastFrame(int32(i), buf, nil, full, delta, int32(ttl), nil)
 		return
 	}
 	if tc := nw.Nodes[i].GenerateTC(nw.Engine.Now()); tc != nil {
@@ -264,7 +281,7 @@ func (nw *Network) emitTCNow(i int) {
 		nw.Stats.TCMessages++
 		nw.Stats.TCBytes += uint64(len(buf))
 		nw.Stats.TCOriginatedBytes += uint64(len(buf))
-		nw.broadcastFrame(int32(i), buf, nil, tc, nil, 0)
+		nw.broadcastFrame(int32(i), buf, nil, tc, nil, 0, nil)
 	}
 }
 
@@ -297,6 +314,60 @@ type controlFrame struct {
 	// rather than on the wire, so scoped runs reuse the unchanged codec.
 	ttl  int32
 	dsts []int32
+	// flood is the per-flood visited set shared along a TC-family frame's
+	// whole relay chain (nil for HELLOs, which never flood).
+	flood *floodState
+}
+
+// floodState is one flood's duplicate-suppression state: a bitset over
+// receiver indices recording who has already been handed this (origin, seq)
+// message. The simulator owns exactly one per flood, shared by every relayed
+// frame of that flood and released to the pool when the last frame drains —
+// replacing N per-node duplicate tables (one map probe plus a window scan per
+// delivery) with a single bit probe. The protocol nodes run with
+// Config.ExternalDupSuppression and skip their own window entirely.
+//
+// The replacement is observably identical to the per-node windows: a
+// suppressed delivery used to return before touching any state a later
+// handler could see, a flood's frames outlive every in-flight duplicate of
+// it (frames hold the state refcounted), and an (origin, seq) pair never
+// recurs within a duplicate window's lifetime (sequence wrap takes orders of
+// magnitude longer than the hold time). The origin's own bit starts unset,
+// exactly like its duplicate window before its own message loops back.
+type floodState struct {
+	visited []uint64
+	refs    int32
+}
+
+// testAndSet reports whether receiver i already saw this flood, marking it
+// either way.
+func (fs *floodState) testAndSet(i int32) bool {
+	w, b := i>>6, uint64(1)<<(uint32(i)&63)
+	if fs.visited[w]&b != 0 {
+		return true
+	}
+	fs.visited[w] |= b
+	return false
+}
+
+// newFlood returns a cleared visited set sized for the current field.
+func (nw *Network) newFlood() *floodState {
+	var fs *floodState
+	if n := len(nw.floodPool); n > 0 {
+		fs = nw.floodPool[n-1]
+		nw.floodPool = nw.floodPool[:n-1]
+	} else {
+		fs = &floodState{}
+	}
+	words := (nw.Phys.N() + 63) / 64
+	if cap(fs.visited) < words {
+		fs.visited = make([]uint64, words)
+	} else {
+		fs.visited = fs.visited[:words]
+		clear(fs.visited)
+	}
+	fs.refs = 0
+	return fs
 }
 
 // Fire implements des.Event: deliver the frame to every batched receiver.
@@ -341,10 +412,17 @@ func (nw *Network) newFrame(from int32, buf []byte, hello *olsr.Hello, tc *olsr.
 	return f
 }
 
-// release returns the frame to its pool once every reception fired.
+// release returns the frame to its pool once every reception fired, and the
+// flood state once no frame of the flood remains in flight.
 func (f *controlFrame) release() {
 	f.refs--
 	if f.refs <= 0 {
+		if fs := f.flood; fs != nil {
+			f.flood = nil
+			if fs.refs--; fs.refs <= 0 {
+				f.nw.floodPool = append(f.nw.floodPool, fs)
+			}
+		}
 		f.buf, f.hello, f.tc, f.tcd = nil, nil, nil, nil
 		f.nw.framePool = append(f.nw.framePool, f)
 	}
@@ -355,7 +433,7 @@ func (f *controlFrame) release() {
 // decides who receives the frame and after how long. Failed links carry
 // nothing regardless of the medium. ttl is the frame's remaining flood
 // scope at this transmission (0 = unlimited).
-func (nw *Network) broadcastFrame(from int32, buf []byte, hello *olsr.Hello, tc *olsr.TC, tcd *olsr.TCDelta, ttl int32) {
+func (nw *Network) broadcastFrame(from int32, buf []byte, hello *olsr.Hello, tc *olsr.TC, tcd *olsr.TCDelta, ttl int32, flood *floodState) {
 	nw.dsts = nw.dsts[:0]
 	for _, arc := range nw.Phys.Arcs(from) {
 		if nw.LinkUp(from, arc.To) {
@@ -366,6 +444,12 @@ func (nw *Network) broadcastFrame(from int32, buf []byte, hello *olsr.Hello, tc 
 	if len(plan) == 0 {
 		return
 	}
+	if flood == nil && (tc != nil || tcd != nil) {
+		// A flood's first transmission: allocate its visited set. The
+		// origin's own bit stays unset — its message looping back is a
+		// first sighting, exactly as under the per-node windows.
+		flood = nw.newFlood()
+	}
 	uniform := true
 	for _, hop := range plan[1:] {
 		if hop.Delay != plan[0].Delay {
@@ -374,6 +458,10 @@ func (nw *Network) broadcastFrame(from int32, buf []byte, hello *olsr.Hello, tc 
 		}
 	}
 	f := nw.newFrame(from, buf, hello, tc, tcd, ttl)
+	if flood != nil {
+		f.flood = flood
+		flood.refs++
+	}
 	if uniform {
 		// One pooled event delivers to the whole reception set, in plan
 		// order — the exact order separate equal-time events would run in.
@@ -411,6 +499,9 @@ func (nw *Network) deliverFrame(f *controlFrame, to int32) {
 	case f.hello != nil:
 		node.HandleHello(f.hello, now)
 	case f.tc != nil:
+		if f.flood.testAndSet(to) {
+			return // already handed to this receiver via another relay
+		}
 		if node.HandleTC(f.tc, int64(nw.Phys.ID(f.from)), now) && f.ttl != 1 {
 			// MPR forwarding: re-broadcast from this node, reusing the
 			// encoded and decoded forms. A frame received at TTL 1 has
@@ -420,6 +511,9 @@ func (nw *Network) deliverFrame(f *controlFrame, to int32) {
 			nw.relayTC(f, to)
 		}
 	case f.tcd != nil:
+		if f.flood.testAndSet(to) {
+			return
+		}
 		if node.HandleTCDelta(f.tcd, int64(nw.Phys.ID(f.from)), now) && f.ttl != 1 {
 			nw.relayTC(f, to)
 		}
@@ -437,7 +531,7 @@ func (nw *Network) relayTC(f *controlFrame, to int32) {
 	nw.Stats.TCBytes += uint64(len(f.buf))
 	nw.Stats.TCForwarded++
 	nw.Stats.TCForwardedBytes += uint64(len(f.buf))
-	nw.broadcastFrame(to, f.buf, nil, f.tc, f.tcd, ttl)
+	nw.broadcastFrame(to, f.buf, nil, f.tc, f.tcd, ttl, f.flood)
 }
 
 // ANSSets returns every node's current advertised set as graph indices,

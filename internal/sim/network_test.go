@@ -229,7 +229,13 @@ func TestTTLScopedRelayAndDupSuppression(t *testing.T) {
 	if tc == nil {
 		t.Fatal("node 0 has nothing to advertise")
 	}
-	nw.broadcastFrame(0, olsr.MarshalTC(tc), nil, tc, nil, 3)
+	// Pin the flood's visited set (the simulator owns duplicate suppression
+	// per flood): the pin keeps it out of the pool so the duplicate
+	// re-broadcast below provably belongs to the same flood, the way a
+	// relayed frame would.
+	flood := nw.newFlood()
+	flood.refs = 1
+	nw.broadcastFrame(0, olsr.MarshalTC(tc), nil, tc, nil, 3, flood)
 	nw.Engine.Run(nw.Engine.Now() + time.Second)
 	if !routeTo0(3) {
 		t.Error("TC received at TTL 1 did not update topology")
@@ -241,9 +247,9 @@ func TestTTLScopedRelayAndDupSuppression(t *testing.T) {
 		t.Errorf("TCForwarded = %d, want 2 (relays at nodes 1 and 2)", fwd)
 	}
 
-	// The same seq at unlimited scope is a duplicate everywhere it already
+	// The same flood at unlimited scope is a duplicate everywhere it already
 	// travelled: node 1 drops it and the boundary stands.
-	nw.broadcastFrame(0, olsr.MarshalTC(tc), nil, tc, nil, 0)
+	nw.broadcastFrame(0, olsr.MarshalTC(tc), nil, tc, nil, 0, flood)
 	nw.Engine.Run(nw.Engine.Now() + time.Second)
 	if routeTo0(4) {
 		t.Error("duplicate seq crossed the fish-eye boundary")
@@ -252,13 +258,13 @@ func TestTTLScopedRelayAndDupSuppression(t *testing.T) {
 		t.Errorf("TCForwarded = %d after duplicate, want still 2", fwd)
 	}
 
-	// Fresh seqs at unlimited scope relay all the way: with node 0's next
+	// Fresh floods at unlimited scope relay all the way: with node 0's next
 	// TC (the 0-1 link) and node 1's (the 1-2 link) flooded unscoped,
 	// even node 4 completes a route to 0.
 	tc0 := nw.Nodes[0].GenerateTC(nw.Engine.Now())
-	nw.broadcastFrame(0, olsr.MarshalTC(tc0), nil, tc0, nil, 0)
+	nw.broadcastFrame(0, olsr.MarshalTC(tc0), nil, tc0, nil, 0, nil)
 	tc1 := nw.Nodes[1].GenerateTC(nw.Engine.Now())
-	nw.broadcastFrame(1, olsr.MarshalTC(tc1), nil, tc1, nil, 0)
+	nw.broadcastFrame(1, olsr.MarshalTC(tc1), nil, tc1, nil, 0, nil)
 	nw.Engine.Run(nw.Engine.Now() + time.Second)
 	if !routeTo0(4) {
 		t.Error("fresh unlimited TC did not cross the boundary")

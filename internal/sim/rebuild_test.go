@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"qolsr/internal/metric"
+	"qolsr/internal/olsr"
+)
+
+// convergedPair builds two identical converged networks from the same seed
+// so each can take a different rebuild path.
+func convergedPair(t *testing.T) (a, b *Network) {
+	t.Helper()
+	m := metric.Bandwidth()
+	a = testNetwork(t, smallWorld(t, 23, 9), m)
+	b = testNetwork(t, smallWorld(t, 23, 9), m)
+	for _, nw := range []*Network{a, b} {
+		nw.Start()
+		nw.Run(20 * time.Second)
+	}
+	return a, b
+}
+
+// tableOf snapshots one node's routing table.
+func tableOf(t *testing.T, nw *Network, x int32) map[int64]olsr.Route {
+	t.Helper()
+	r, err := nw.Nodes[x].Routes(nw.Engine.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Table()
+}
+
+// RebuildRoutes fanned across eight workers must produce exactly the tables
+// the serial path produces, node for node, and agree on how many tables
+// were actually rebuilt. This is the test CI runs under the race detector:
+// the parallel path touches every node's scratch state concurrently and
+// must stay free of shared mutable state.
+func TestRebuildRoutesWorkersAgree(t *testing.T) {
+	serial, parallel := convergedPair(t)
+
+	n1, err := serial.RebuildRoutes(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n8, err := parallel.RebuildRoutes(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n8 {
+		t.Fatalf("rebuilt %d tables serially vs %d with 8 workers", n1, n8)
+	}
+	if n1 == 0 {
+		t.Fatal("nothing was dirty; the fixture exercised no rebuild")
+	}
+	for x := int32(0); int(x) < serial.Phys.N(); x++ {
+		ts, tp := tableOf(t, serial, x), tableOf(t, parallel, x)
+		if len(ts) != len(tp) {
+			t.Fatalf("node %d: table sizes %d vs %d", x, len(ts), len(tp))
+		}
+		for dst, rs := range ts {
+			if rp, ok := tp[dst]; !ok || rp != rs {
+				t.Fatalf("node %d route to %d: %+v serial vs %+v parallel", x, dst, rs, tp[dst])
+			}
+		}
+	}
+	if serial.RebuildTotals() != parallel.RebuildTotals() {
+		t.Fatalf("rebuild totals diverge: %+v vs %+v", serial.RebuildTotals(), parallel.RebuildTotals())
+	}
+
+	// A second barrier with everything clean must be a no-op either way.
+	if n, err := parallel.RebuildRoutes(nil, 8); err != nil || n != 0 {
+		t.Fatalf("clean barrier rebuilt %d tables (err %v), want 0", n, err)
+	}
+}
+
+// A subset barrier must only touch the named nodes' tables.
+func TestRebuildRoutesSubset(t *testing.T) {
+	nw := testNetwork(t, smallWorld(t, 23, 9), metric.Bandwidth())
+	nw.Start()
+	nw.Run(20 * time.Second)
+
+	subset := []int32{0, 2}
+	if _, err := nw.RebuildRoutes(subset, 4); err != nil {
+		t.Fatal(err)
+	}
+	now := nw.Engine.Now()
+	for _, x := range subset {
+		if nw.Nodes[x].RoutesDirty(now) {
+			t.Fatalf("node %d still dirty after subset rebuild", x)
+		}
+	}
+	if n, err := nw.RebuildRoutes(subset, 1); err != nil || n != 0 {
+		t.Fatalf("repeat subset barrier rebuilt %d (err %v), want 0", n, err)
+	}
+}
