@@ -12,7 +12,9 @@
 //	    -status 127.0.0.1:8001
 //
 // The -status endpoint serves the daemon's neighbors, MPR set, routing
-// table and traffic counters as JSON; it binds loopback only.
+// table and traffic counters as JSON on /status, and the same counters in
+// Prometheus text format on /metrics; it binds loopback only. -pprof
+// additionally mounts net/http/pprof profiling on the same listener.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,6 +55,7 @@ func run() error {
 		metricName = flag.String("metric", "delay", "QoS metric: bandwidth, delay, hop or energy")
 		selName    = flag.String("selector", "fnbp", "advertised-set selector: fnbp, topofilter, qolsr, full")
 		statusAddr = flag.String("status", "", "loopback address for the HTTP status endpoint (e.g. 127.0.0.1:8001); empty disables it")
+		pprofFlag  = flag.Bool("pprof", false, "with -status, also serve net/http/pprof under /debug/pprof/ on the status listener")
 		ttl        = flag.Uint("ttl", 32, "initial TTL of originated data packets")
 		verbose    = flag.Bool("v", false, "log protocol events")
 	)
@@ -128,10 +132,25 @@ func run() error {
 			tr.Close()
 			return err
 		}
-		srv := &http.Server{Handler: d.StatusHandler()}
+		mux := http.NewServeMux()
+		mux.Handle("/", d.StatusHandler())
+		if *pprofFlag {
+			// Explicit registrations, not DefaultServeMux: the profiling
+			// surface exists only when asked for, only on this loopback
+			// listener.
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		srv := &http.Server{Handler: mux}
 		go srv.Serve(ln)
 		defer srv.Close()
-		log.Printf("status endpoint on http://%s/status", ln.Addr())
+		log.Printf("status endpoint on http://%s/status (metrics on /metrics)", ln.Addr())
+		if *pprofFlag {
+			log.Printf("pprof endpoint on http://%s/debug/pprof/", ln.Addr())
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"qolsr"
+	"qolsr/internal/obs"
 )
 
 func TestParseDegrees(t *testing.T) {
@@ -161,6 +165,63 @@ func TestScenarioCmdErrors(t *testing.T) {
 	}
 	if err := runScenario([]string{"-name", "static-baseline", "-json", "-", "-csv", "-"}); err == nil {
 		t.Error("shared stdout accepted")
+	}
+	if err := runScenario([]string{"-name", "static-baseline", "-metrics-out", "-", "-trace", "-"}); err == nil {
+		t.Error("metrics and trace sharing stdout accepted")
+	}
+	if err := runScenario([]string{"-name", "static-baseline", "-trace", "t.json", "-trace-every", "0"}); err == nil {
+		t.Error("non-positive -trace-every accepted")
+	}
+}
+
+// The observability outputs ride the scenario run end to end: -metrics-out
+// writes a qolsr-metrics/v1 snapshot, -trace a schema-valid Chrome
+// trace-event document.
+func TestScenarioObsOutputs(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	trace := filepath.Join(dir, "trace.json")
+	err := runScenario([]string{"-name", "static-baseline", "-quiet",
+		"-runs", "1", "-duration", "12s", "-flows", "cbr:2@8192",
+		"-metrics-out", metrics, "-trace", trace, "-trace-every", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		Schema  string `json:"schema"`
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("metrics output does not parse: %v", err)
+	}
+	if doc.Schema != "qolsr-metrics/v1" {
+		t.Errorf("metrics schema = %q", doc.Schema)
+	}
+	names := map[string]bool{}
+	for _, m := range doc.Metrics {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"qolsr_des_events_executed_total", "qolsr_ctrl_messages_total", "qolsr_traffic_packets_total"} {
+		if !names[want] {
+			t.Errorf("metrics output missing %s", want)
+		}
+	}
+
+	if data, err = os.ReadFile(trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTrace(data); err != nil {
+		t.Errorf("trace output fails schema validation: %v", err)
+	}
+	if !strings.Contains(string(data), `"ph":"X"`) {
+		t.Error("trace output has no hop spans")
 	}
 }
 

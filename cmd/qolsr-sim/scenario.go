@@ -51,20 +51,23 @@ func listScenarios(w *os.File) error {
 func runScenario(args []string) error {
 	fs := flag.NewFlagSet("scenario run", flag.ContinueOnError)
 	var (
-		name     = fs.String("name", "", "built-in scenario to run (see: qolsr-sim scenario list)")
-		selector = fs.String("selector", "fnbp", "advertised-set selector: fnbp, topofilter, qolsr, full")
-		runs     = fs.Int("runs", 0, "replicate runs (0 = default 3)")
-		seed     = fs.Int64("seed", 1, "base RNG seed")
-		workers  = fs.Int("workers", 0, "parallelism budget across replicate runs (0 = GOMAXPROCS)")
-		csvPath  = fs.String("csv", "", "also write the result as long-form CSV to this file (\"-\" for stdout)")
-		jsonPath = fs.String("json", "", "also write the result as JSON to this file (\"-\" for stdout)")
-		quiet    = fs.Bool("quiet", false, "suppress progress output")
-		duration = fs.Duration("duration", 0, "override the scenario duration")
-		sample   = fs.Duration("sample", 0, "override the measurement cadence")
-		flows    = fs.String("flows", "", "override the traffic: a bare integer overrides the probe flow count; \"class:count@rateBps,...\" (e.g. cbr:8@16384,video:4@24576) installs a sustained flow-class mix (classes: see -list)")
-		medium   = fs.String("medium", "", "override the radio medium: ideal or lossy (see -list)")
-		loss     = fs.Float64("loss", -1, "override the lossy medium's base packet-error rate, in [0,1)")
-		measured = fs.Bool("measured", false, "enable measured link quality (ETX-style) instead of oracle weights")
+		name       = fs.String("name", "", "built-in scenario to run (see: qolsr-sim scenario list)")
+		selector   = fs.String("selector", "fnbp", "advertised-set selector: fnbp, topofilter, qolsr, full")
+		runs       = fs.Int("runs", 0, "replicate runs (0 = default 3)")
+		seed       = fs.Int64("seed", 1, "base RNG seed")
+		workers    = fs.Int("workers", 0, "parallelism budget across replicate runs (0 = GOMAXPROCS)")
+		csvPath    = fs.String("csv", "", "also write the result as long-form CSV to this file (\"-\" for stdout)")
+		jsonPath   = fs.String("json", "", "also write the result as JSON to this file (\"-\" for stdout)")
+		quiet      = fs.Bool("quiet", false, "suppress progress output")
+		duration   = fs.Duration("duration", 0, "override the scenario duration")
+		sample     = fs.Duration("sample", 0, "override the measurement cadence")
+		flows      = fs.String("flows", "", "override the traffic: a bare integer overrides the probe flow count; \"class:count@rateBps,...\" (e.g. cbr:8@16384,video:4@24576) installs a sustained flow-class mix (classes: see -list)")
+		medium     = fs.String("medium", "", "override the radio medium: ideal or lossy (see -list)")
+		loss       = fs.Float64("loss", -1, "override the lossy medium's base packet-error rate, in [0,1)")
+		measured   = fs.Bool("measured", false, "enable measured link quality (ETX-style) instead of oracle weights")
+		metricsOut = fs.String("metrics-out", "", "collect the metrics registry and write its merged snapshot as JSON to this file (\"-\" for stdout)")
+		tracePath  = fs.String("trace", "", "sample data-packet path traces and write them as Chrome trace-event JSON to this file (\"-\" for stdout; open in Perfetto)")
+		traceEvery = fs.Int("trace-every", 64, "with -trace, sample 1 in N data packets (1 = trace everything)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,8 +75,17 @@ func runScenario(args []string) error {
 	if *name == "" {
 		return fmt.Errorf("scenario run needs -name (see: qolsr-sim scenario list)")
 	}
-	if *jsonPath == "-" && *csvPath == "-" {
-		return fmt.Errorf("-json - and -csv - cannot share stdout")
+	stdoutSinks := 0
+	for _, p := range []string{*jsonPath, *csvPath, *metricsOut, *tracePath} {
+		if p == "-" {
+			stdoutSinks++
+		}
+	}
+	if stdoutSinks > 1 {
+		return fmt.Errorf("-json, -csv, -metrics-out and -trace cannot share stdout")
+	}
+	if *tracePath != "" && *traceEvery < 1 {
+		return fmt.Errorf("-trace-every needs a positive sampling period, got %d", *traceEvery)
 	}
 
 	sc, err := qolsr.ScenarioByName(*name, *selector)
@@ -112,6 +124,12 @@ func runScenario(args []string) error {
 	if *measured {
 		sc.Protocol.MeasuredQoS = true
 	}
+	if *metricsOut != "" {
+		sc.Obs.Metrics = true
+	}
+	if *tracePath != "" {
+		sc.Obs.TraceEvery = *traceEvery
+	}
 
 	// Ctrl-C / SIGTERM cancels the execution; replicate runs stop at the
 	// next sample and the command reports the cancellation.
@@ -138,7 +156,7 @@ func runScenario(args []string) error {
 
 	// An encoder targeting "-" owns stdout: suppress the human table so
 	// the stream stays machine-parseable.
-	if *jsonPath != "-" && *csvPath != "-" {
+	if stdoutSinks == 0 {
 		if err := res.WriteTable(os.Stdout); err != nil {
 			return err
 		}
@@ -150,6 +168,16 @@ func runScenario(args []string) error {
 	}
 	if *jsonPath != "" {
 		if err := writeOut(*jsonPath, res.EncodeJSON); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeOut(*metricsOut, res.EncodeMetrics); err != nil {
+			return err
+		}
+	}
+	if *tracePath != "" {
+		if err := writeOut(*tracePath, res.EncodeTrace); err != nil {
 			return err
 		}
 	}

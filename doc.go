@@ -236,6 +236,30 @@
 // optimisation against the original QOLSR plane on identical fields;
 // BENCH_overhead.json records the result.
 //
+// # Observability
+//
+// internal/obs is one metrics-and-tracing layer shared by the simulator and
+// the daemon, built to cost nothing while disabled. A Registry holds
+// fixed-slot counters, gauges and histograms (atomics underneath, no maps
+// on the hot path) plus lazy collectors that read existing counters only at
+// snapshot time; zero-value handles and a nil *Tracer are inert no-ops, so
+// the disabled path is a nil check. The contract is enforced, not assumed:
+// disabled handles are zero-allocation by test, instrumenting the registry
+// adds exactly 0 allocs/op to the BenchmarkTrafficEngine workload, and
+// enabling metrics or tracing leaves a scenario's measurement JSON
+// bit-identical — observability is a pure read layer over the deterministic
+// core. Scenario runs export the merged registry snapshot
+// (qolsr-sim scenario run -metrics-out, schema qolsr-metrics/v1) and
+// sampled packet path traces (-trace, -trace-every N) as Chrome trace-event
+// JSON loadable in Perfetto: one track per flow, one span per hop with the
+// transmit-queue wait, a terminal event carrying the outcome. Sampling is
+// keyed by rng.Mix(seed, flow, seq) — never arrival order — and events
+// append in virtual event order, so traces are byte-identical at any worker
+// count. The daemon serves the same registry live: /metrics on the -status
+// listener is Prometheus text exposition backed by the cells the status
+// JSON derives from, and -pprof mounts net/http/pprof on the same loopback
+// listener.
+//
 // # Quick start
 //
 //	dep := qolsr.PaperDeployment(15)                  // δ=15, 1000×1000, R=100

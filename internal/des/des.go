@@ -91,7 +91,19 @@ type Queue struct {
 	fifoHead int
 	// Executed counts processed events.
 	Executed uint64
+	// FifoScheduled counts events that entered through the fixed-delay
+	// lane (the rest of Scheduled() went through the heap).
+	FifoScheduled uint64
+	// HeapHighWater and FifoHighWater are occupancy peaks: the deepest the
+	// heap and the fixed-delay lane have been. They are plain compares on
+	// the scheduling path — always on, observability reads them lazily.
+	HeapHighWater int
+	FifoHighWater int
 }
+
+// Scheduled returns the total number of events ever booked (heap and
+// fixed-delay lane; the sequence counter is bumped once per event).
+func (q *Queue) Scheduled() uint64 { return q.seq }
 
 // Now returns the current virtual time.
 func (q *Queue) Now() time.Duration { return q.now }
@@ -122,11 +134,15 @@ func (q *Queue) AfterFixed(d time.Duration, ev Event) {
 		return
 	}
 	q.seq++
+	q.FifoScheduled++
 	if q.fifoHead > 0 && q.fifoHead >= len(q.fifo)/2 {
 		q.fifo = q.fifo[:copy(q.fifo, q.fifo[q.fifoHead:])]
 		q.fifoHead = 0
 	}
 	q.fifo = append(q.fifo, item{at: t, prio: PrioNormal, seq: q.seq, slot: q.alloc(ev)})
+	if depth := len(q.fifo) - q.fifoHead; depth > q.FifoHighWater {
+		q.FifoHighWater = depth
+	}
 }
 
 // alloc stores ev in a stable slot and returns its index.
@@ -202,6 +218,9 @@ func (q *Queue) Run(until time.Duration) uint64 {
 // push sifts a new item up the heap.
 func (q *Queue) push(it item) {
 	h := append(q.heap, it)
+	if len(h) > q.HeapHighWater {
+		q.HeapHighWater = len(h)
+	}
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 4

@@ -264,3 +264,36 @@ func TestFixedLaneSteadyStream(t *testing.T) {
 		}
 	}
 }
+
+// The always-on accounting fields must track scheduling activity: total
+// bookings, the fixed-lane share, and the occupancy high-water marks.
+func TestQueueAccountingCounters(t *testing.T) {
+	var q Queue
+	noop := Func(func() {})
+	for i := 0; i < 5; i++ {
+		q.After(time.Duration(i)*time.Millisecond, noop)
+	}
+	for i := 0; i < 3; i++ {
+		q.AfterFixed(10*time.Millisecond, noop)
+	}
+	if got := q.Scheduled(); got != 8 {
+		t.Errorf("Scheduled() = %d, want 8", got)
+	}
+	if q.FifoScheduled != 3 {
+		t.Errorf("FifoScheduled = %d, want 3", q.FifoScheduled)
+	}
+	if q.HeapHighWater != 5 {
+		t.Errorf("HeapHighWater = %d, want 5", q.HeapHighWater)
+	}
+	if q.FifoHighWater != 3 {
+		t.Errorf("FifoHighWater = %d, want 3", q.FifoHighWater)
+	}
+	q.Run(time.Second)
+	if q.Executed != 8 {
+		t.Errorf("Executed = %d, want 8", q.Executed)
+	}
+	// Draining moves no high-water mark.
+	if q.HeapHighWater != 5 || q.FifoHighWater != 3 {
+		t.Errorf("high-water moved on drain: heap %d fifo %d", q.HeapHighWater, q.FifoHighWater)
+	}
+}

@@ -88,6 +88,10 @@ type ScalePoint struct {
 	// EventsPerSec is Events over wall time — the engine's realized
 	// throughput at this scale.
 	EventsPerSec stats.Accumulator
+	// HeapHighWater is the deepest the engine's timed heap got — the
+	// event-core memory axis the throughput numbers alone hide (a point can
+	// stay fast while its pending set balloons).
+	HeapHighWater stats.Accumulator
 	// Delivery is the traffic mix's packet delivery ratio.
 	Delivery stats.Accumulator
 }
@@ -229,6 +233,7 @@ func runScalePoint(p *ScalePoint, n, run int, opts ScaleSweepOptions) error {
 	if wall > 0 {
 		p.EventsPerSec.Add(events / wall)
 	}
+	p.HeapHighWater.Add(float64(nw.Engine.HeapHighWater))
 	p.Delivery.Add(rep.Total.Delivery)
 	return nil
 }
@@ -253,7 +258,7 @@ func (r *ScaleSweepResult) WriteTable(w io.Writer) error {
 		r.Options.Degree, r.Options.Flows, r.Options.Warmup, r.Options.SimTime, r.Options.Runs); err != nil {
 		return err
 	}
-	header := []string{"nodes", "edges", "wall_s", "events", "Mev/s", "dlv"}
+	header := []string{"nodes", "edges", "wall_s", "events", "Mev/s", "heap_hw", "dlv"}
 	if _, err := fmt.Fprintln(w, strings.Join(pad(header), "  ")); err != nil {
 		return err
 	}
@@ -264,6 +269,7 @@ func (r *ScaleSweepResult) WriteTable(w io.Writer) error {
 			fmt.Sprintf("%.2f", p.WallSeconds.Mean()),
 			fmt.Sprintf("%.0f", p.Events.Mean()),
 			fmt.Sprintf("%.2f", p.EventsPerSec.Mean()/1e6),
+			fmt.Sprintf("%.0f", p.HeapHighWater.Mean()),
 			fmt.Sprintf("%.3f", p.Delivery.Mean()),
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(pad(cells), "  ")); err != nil {

@@ -61,7 +61,13 @@ type Stats struct {
 	DecodeErrors uint64 `json:"decode_errors"`
 	// UnknownSender counts well-formed frames from nodes outside the peer
 	// table.
-	UnknownSender  uint64 `json:"unknown_sender"`
+	UnknownSender uint64 `json:"unknown_sender"`
+	// SpoofRejects counts HELLOs whose origin disagrees with the frame
+	// sender — spoofed or relayed one-hop messages.
+	SpoofRejects uint64 `json:"spoof_rejects"`
+	// TransportDrops counts inbound datagrams the transport discarded on a
+	// full receive queue (before the daemon ever saw them).
+	TransportDrops uint64 `json:"transport_drops"`
 	SendErrors     uint64 `json:"send_errors"`
 	HellosIn       uint64 `json:"hellos_in"`
 	TCsIn          uint64 `json:"tcs_in"`
@@ -116,7 +122,10 @@ type Daemon struct {
 
 	start   time.Time
 	dataSeq uint64
-	stats   Stats
+	// metrics is the authoritative traffic accounting: registry cells the
+	// run loop increments and the /metrics scrape reads concurrently. The
+	// status report's Stats is derived from it.
+	metrics *daemonMetrics
 
 	statusCh chan chan StatusReport
 	sendCh   chan dataSend
@@ -180,6 +189,7 @@ func New(cfg Config) (*Daemon, error) {
 		d.order = append(d.order, p.ID)
 	}
 	sort.Slice(d.order, func(i, j int) bool { return d.order[i] < d.order[j] })
+	d.metrics = newDaemonMetrics(d.start, d.tr)
 	return d, nil
 }
 
@@ -228,9 +238,11 @@ func (d *Daemon) Run(ctx context.Context) error {
 }
 
 // emitHello broadcasts the node's periodic HELLO to every configured peer.
+// The HELLO tick doubles as the gauge refresh cadence.
 func (d *Daemon) emitHello() {
 	h := d.node.GenerateHello(d.now())
 	d.broadcast(KindControl, olsr.MarshalHello(h))
+	d.refreshGauges()
 }
 
 // emitTC floods the node's periodic TC, if it has an advertised set.
@@ -262,33 +274,33 @@ func (d *Daemon) sendTo(p *peerState, kind FrameKind, payload []byte) {
 	}
 	buf, err := MarshalFrame(&f)
 	if err != nil {
-		d.stats.SendErrors++
+		d.metrics.sendErrors.Inc()
 		return
 	}
 	if err := d.tr.Send(p.addr, buf); err != nil {
-		d.stats.SendErrors++
+		d.metrics.sendErrors.Inc()
 		d.logf("node %d: send to %d (%s): %v", d.cfg.ID, p.id, p.addr, err)
 		return
 	}
-	d.stats.FramesOut++
-	d.stats.BytesOut += uint64(len(buf))
+	d.metrics.framesOut.Inc()
+	d.metrics.bytesOut.Add(uint64(len(buf)))
 }
 
 // handleFrame ingests one datagram: authenticate the sender against the
 // peer table, harvest the RTT echo, then dispatch by kind.
 func (d *Daemon) handleFrame(in Inbound) {
-	d.stats.FramesIn++
-	d.stats.BytesIn += uint64(len(in.Data))
+	d.metrics.framesIn.Inc()
+	d.metrics.bytesIn.Add(uint64(len(in.Data)))
 	f, err := UnmarshalFrame(in.Data)
 	if err != nil {
-		d.stats.DecodeErrors++
+		d.metrics.decodeErrors.Inc()
 		return
 	}
 	p := d.peers[f.Sender]
 	if p == nil {
 		// Not in our peer table: out of radio range, or noise. Either
 		// way it contributes no protocol state.
-		d.stats.UnknownSender++
+		d.metrics.unknownSender.Inc()
 		return
 	}
 	// Timestamp-sensitive state uses the transport's arrival stamp, not
@@ -309,7 +321,11 @@ func (d *Daemon) handleFrame(in Inbound) {
 	if f.EchoTime != 0 {
 		// The peer echoed one of our stamps: close the round trip in our
 		// own clock, net of the time the peer held it.
-		p.rtt.sample(time.Duration(int64(at) - int64(f.EchoTime) - int64(f.EchoDelay)))
+		rtt := time.Duration(int64(at) - int64(f.EchoTime) - int64(f.EchoDelay))
+		p.rtt.sample(rtt)
+		if rtt >= 0 {
+			d.metrics.rtt.Observe(rtt.Seconds())
+		}
 	}
 	switch f.Kind {
 	case KindControl:
@@ -324,34 +340,38 @@ func (d *Daemon) handleFrame(in Inbound) {
 func (d *Daemon) handleControl(p *peerState, payload []byte) {
 	t, err := olsr.PeekType(payload)
 	if err != nil {
-		d.stats.DecodeErrors++
+		d.metrics.decodeErrors.Inc()
 		return
 	}
 	now := d.now()
 	switch t {
 	case olsr.MsgHello:
 		h, err := olsr.UnmarshalHello(payload)
-		if err != nil || h.Origin != p.id {
-			// A HELLO whose origin disagrees with the frame sender is
-			// spoofed or relayed; HELLOs are strictly one-hop.
-			d.stats.DecodeErrors++
+		if err != nil {
+			d.metrics.decodeErrors.Inc()
 			return
 		}
-		d.stats.HellosIn++
+		if h.Origin != p.id {
+			// A HELLO whose origin disagrees with the frame sender is
+			// spoofed or relayed; HELLOs are strictly one-hop.
+			d.metrics.spoofRejects.Inc()
+			return
+		}
+		d.metrics.hellosIn.Inc()
 		d.senseLink(p, now)
 		d.node.HandleHello(h, now)
 	case olsr.MsgTC:
 		tc, err := olsr.UnmarshalTC(payload)
 		if err != nil {
-			d.stats.DecodeErrors++
+			d.metrics.decodeErrors.Inc()
 			return
 		}
-		d.stats.TCsIn++
+		d.metrics.tcsIn.Inc()
 		if d.node.HandleTC(tc, p.id, now) {
 			// RFC 3626 forwarding: the sender selected us as MPR —
 			// re-flood the TC to our whole neighborhood. Duplicate
 			// suppression in HandleTC bounds the storm.
-			d.stats.TCsForwarded++
+			d.metrics.tcsForwarded.Inc()
 			d.broadcast(KindControl, payload)
 		}
 	}
@@ -387,27 +407,27 @@ func (d *Daemon) senseLink(p *peerState, now time.Duration) {
 func (d *Daemon) handleData(payload []byte) {
 	pkt, err := UnmarshalData(payload)
 	if err != nil {
-		d.stats.DecodeErrors++
+		d.metrics.decodeErrors.Inc()
 		return
 	}
 	if pkt.Dst == d.cfg.ID {
-		d.stats.DataDelivered++
+		d.metrics.dataDelivered.Inc()
 		if d.cfg.OnData != nil {
 			d.cfg.OnData(pkt.Src, pkt.Seq, pkt.Body)
 		}
 		return
 	}
 	if pkt.TTL == 0 {
-		d.stats.DataDropped++
+		d.metrics.dataDropped.Inc()
 		return
 	}
 	pkt.TTL--
 	if err := d.routeData(pkt); err != nil {
-		d.stats.DataDropped++
+		d.metrics.dataDropped.Inc()
 		d.logf("node %d: drop data %d->%d: %v", d.cfg.ID, pkt.Src, pkt.Dst, err)
 		return
 	}
-	d.stats.DataForwarded++
+	d.metrics.dataForwarded.Inc()
 }
 
 // routeData looks the packet's destination up in the routing table and
@@ -444,7 +464,7 @@ func (d *Daemon) originate(dst int64, body []byte) error {
 	if err := d.routeData(pkt); err != nil {
 		return err
 	}
-	d.stats.DataOriginated++
+	d.metrics.dataOriginated.Inc()
 	return nil
 }
 

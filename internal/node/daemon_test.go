@@ -4,7 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -277,7 +281,7 @@ func TestDaemonIgnoresHostileInput(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if st.Stats.DecodeErrors >= 2 && st.Stats.UnknownSender >= 1 {
+		if st.Stats.DecodeErrors >= 1 && st.Stats.UnknownSender >= 1 && st.Stats.SpoofRejects >= 1 {
 			for _, nb := range st.Neighbors {
 				if nb.ID == 666 {
 					t.Fatal("attacker appeared in the neighbor table")
@@ -309,6 +313,62 @@ func TestStatusEndpoint(t *testing.T) {
 	}
 	if st.ID != 1 || len(st.Routes) != 1 || st.Routes[0].Dst != 2 {
 		t.Fatalf("unexpected status over HTTP: %+v", st)
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics off the status listener: the
+// Prometheus text must carry the daemon's frame counters, the RTT histogram
+// and the gauges, and the values must agree with the status report (both
+// read the same registry cells).
+func TestMetricsEndpoint(t *testing.T) {
+	m := startMesh(t, NewMemNetwork(), line(2), true, nil)
+	m.waitConverged(t, 10*time.Second)
+	srv := httptest.NewServer(m.daemons[1].StatusHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`qolsr_node_frames_total{dir="in"}`,
+		`qolsr_node_frames_total{dir="out"}`,
+		`qolsr_node_ctrl_in_total{type="hello"}`,
+		"qolsr_node_rtt_seconds_count",
+		"qolsr_node_neighbors_linked",
+		"qolsr_node_routes",
+		"qolsr_node_uptime_seconds",
+		"qolsr_node_transport_drops_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	// The scrape and the status JSON read the same cells: frames_in on
+	// /metrics must be at least the value the (earlier) status snapshot saw.
+	st, err := m.daemons[1].Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats.FramesIn == 0 || st.Stats.HellosIn == 0 {
+		t.Fatalf("status stats not registry-backed: %+v", st.Stats)
+	}
+	re := regexp.MustCompile(`qolsr_node_ctrl_in_total\{type="hello"\} (\d+)`)
+	match := re.FindStringSubmatch(text)
+	if match == nil {
+		t.Fatal("hello counter sample not found in exposition")
+	}
+	if n, _ := strconv.ParseUint(match[1], 10, 64); n == 0 || n > st.Stats.HellosIn {
+		t.Errorf("scraped hellos=%d, later status=%d; want 0 < scraped <= status", n, st.Stats.HellosIn)
 	}
 }
 

@@ -55,7 +55,7 @@ func (d *Daemon) buildStatus() StatusReport {
 		UptimeS: now.Seconds(),
 		Mode:    "oracle",
 		Metric:  d.cfg.Metric.Name(),
-		Stats:   d.stats,
+		Stats:   d.metrics.stats(d.tr),
 	}
 	if d.cfg.Measured {
 		r.Mode = "measured"
@@ -106,8 +106,9 @@ func (d *Daemon) Status() (StatusReport, error) {
 }
 
 // StatusHandler returns an HTTP handler serving the daemon's StatusReport
-// as JSON on "/" and "/status". Bind it to a loopback listener: the report
-// is operator introspection, not a public API.
+// as JSON on "/" and "/status", and its metrics registry in Prometheus text
+// format on "/metrics". Bind it to a loopback listener: the report is
+// operator introspection, not a public API.
 func (d *Daemon) StatusHandler() http.Handler {
 	mux := http.NewServeMux()
 	serve := func(w http.ResponseWriter, req *http.Request) {
@@ -123,5 +124,6 @@ func (d *Daemon) StatusHandler() http.Handler {
 	}
 	mux.HandleFunc("/", serve)
 	mux.HandleFunc("/status", serve)
+	mux.Handle("/metrics", d.MetricsHandler())
 	return mux
 }

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the text exposition content type /metrics serves.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// (version 0.0.4). Collector funcs are evaluated here; HELP/TYPE headers are
+// emitted once per metric name even when labels split it into series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus renders an already-taken snapshot; the daemon uses the
+// registry form, the CLI can render saved snapshots.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	seen := map[string]bool{}
+	for _, m := range s.Metrics {
+		if !seen[m.Name] {
+			seen[m.Name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+		}
+		var err error
+		if m.Kind == "histogram" {
+			err = writeHistogram(w, m)
+		} else {
+			_, err = fmt.Fprintf(w, "%s%s %s\n", m.Name, renderLabels(m.Labels, ""), formatFloat(m.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and _count.
+func writeHistogram(w io.Writer, m SnapshotMetric) error {
+	for _, b := range m.Buckets {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, renderLabels(m.Labels, b.Le), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, renderLabels(m.Labels, ""), formatFloat(m.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, renderLabels(m.Labels, ""), m.Count)
+	return err
+}
+
+// renderLabels renders {k="v",...}; le, when non-empty, is appended as the
+// histogram bucket bound label.
+func renderLabels(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatFloat renders a metric value: integers without an exponent, else
+// the shortest round-trip form.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -190,6 +190,13 @@ type RebuildStats struct {
 	// counts incremental repairs that reused the cached solution.
 	SPFFull        uint64
 	SPFIncremental uint64
+	// DupHits counts flooded TC-family messages dropped by the node's own
+	// duplicate-suppression window (0 under ExternalDupSuppression — the
+	// simulator counts its flood-level equivalent itself).
+	DupHits uint64
+	// DeltaResyncs counts delta-TC chain breaks that desynchronised an
+	// origin's topology entry, forcing the next full TC to re-anchor it.
+	DeltaResyncs uint64
 }
 
 // EpochHitRate returns the fraction of content-carrying announcements served
@@ -775,6 +782,7 @@ func (n *Node) applyTCDelta(d *TCDelta, now time.Duration) {
 				return
 			}
 			cur.synced = false
+			n.stats.DeltaResyncs++
 		}
 		return
 	}
@@ -869,6 +877,7 @@ func (n *Node) dupSeen(origin int64, seq uint16, now time.Duration) bool {
 			continue
 		}
 		if row[i].seq == seq {
+			n.stats.DupHits++
 			return true
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"qolsr/internal/graph"
 	"qolsr/internal/metric"
 	"qolsr/internal/mpr"
+	"qolsr/internal/obs"
 	"qolsr/internal/olsr"
 	"qolsr/internal/route"
 	"qolsr/internal/sim"
@@ -111,6 +112,15 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 		lossy.SetGeometry(pts, radius)
 	}
 
+	// Path tracing: the tracer seed derives from (seed, run) like every
+	// other stream, and sampling is keyed by packet identity, so the trace
+	// is a pure function of the run — byte-identical at any worker count.
+	var tracer *obs.Tracer
+	if sc.Obs.TraceEvery > 0 {
+		tracer = obs.NewTracer(deriveSeed(seed, "trace", run), sc.Obs.TraceEvery, run)
+		nw.Tracer = tracer
+	}
+
 	positions := func() []geom.Point {
 		if ms != nil {
 			ms.Mob.AdvanceTo(nw.Engine.Now())
@@ -156,6 +166,18 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 		}
 		if err := eng.Start(sc.Duration); err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+	}
+
+	// Metrics: the registry reads the run's counters lazily at snapshot
+	// time, so attaching it costs nothing during the run. Engine collectors
+	// register after every Add (class collectors are per known class).
+	var reg *obs.Registry
+	if sc.Obs.Metrics {
+		reg = obs.New()
+		nw.Instrument(reg)
+		if eng != nil {
+			eng.Instrument(reg)
 		}
 	}
 
@@ -264,6 +286,12 @@ func Execute(ctx context.Context, sc Scenario, seed int64, run int, emit func(Sa
 	res.Rebuild = nw.RebuildTotals()
 	if ms != nil {
 		res.Rebuilds = ms.Rebuilds
+	}
+	if reg != nil {
+		res.Metrics = reg.Snapshot()
+	}
+	if tracer != nil {
+		res.Trace = tracer.Events()
 	}
 	return res, nil
 }

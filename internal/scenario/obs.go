@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"encoding/json"
+	"io"
+
+	"qolsr/internal/obs"
+)
+
+// MetricsSchemaVersion identifies the metrics JSON encoding; bump it on
+// breaking changes to the document shape. It is deliberately separate from
+// SchemaVersion — metrics evolve with the instrumentation while the
+// measurement document stays golden-pinned.
+const MetricsSchemaVersion = "qolsr-metrics/v1"
+
+// metricsDoc is the -metrics-out document: the registry snapshots of every
+// replicate run merged into one reading.
+type metricsDoc struct {
+	Schema   string               `json:"schema"`
+	Scenario string               `json:"scenario"`
+	Selector string               `json:"selector"`
+	Seed     int64                `json:"seed"`
+	Runs     int                  `json:"runs"`
+	Metrics  []obs.SnapshotMetric `json:"metrics"`
+}
+
+// MergedMetrics folds the per-run registry snapshots into one: counters and
+// histograms sum across runs, gauges keep the maximum (every registered
+// gauge is a peak). Empty when no run collected metrics.
+func (r *Result) MergedMetrics() obs.Snapshot {
+	snaps := make([]obs.Snapshot, 0, len(r.Runs))
+	for _, run := range r.Runs {
+		if run != nil {
+			snaps = append(snaps, run.Metrics)
+		}
+	}
+	return obs.Merge(snaps...)
+}
+
+// EncodeMetrics writes the merged metrics snapshot as an indented JSON
+// document (schema "qolsr-metrics/v1"). The encoding is deterministic:
+// metrics sort by (name, labels) and values are exact integers for counters.
+func (r *Result) EncodeMetrics(w io.Writer) error {
+	sc := r.Scenario.WithDefaults()
+	doc := metricsDoc{
+		Schema:   MetricsSchemaVersion,
+		Scenario: sc.Name,
+		Selector: sc.Protocol.Selector,
+		Seed:     r.Seed,
+		Runs:     len(r.Runs),
+		Metrics:  r.MergedMetrics().Metrics,
+	}
+	if doc.Metrics == nil {
+		doc.Metrics = []obs.SnapshotMetric{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// EncodeTrace writes the runs' sampled packet-path traces as one Chrome
+// trace-event JSON document, loadable in Perfetto or chrome://tracing.
+// Events concatenate in run order; each run's events carry the run index as
+// their pid, so the viewer groups them as one process per run with one
+// track per flow.
+func (r *Result) EncodeTrace(w io.Writer) error {
+	var events []obs.TraceEvent
+	for _, run := range r.Runs {
+		if run != nil {
+			events = append(events, run.Trace...)
+		}
+	}
+	return obs.WriteTrace(w, events)
+}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"time"
 
+	"qolsr/internal/obs"
 	"qolsr/internal/olsr"
 	"qolsr/internal/sim"
 	"qolsr/internal/stats"
@@ -135,6 +136,12 @@ type RunResult struct {
 	// nodes: advertisement interning hits, topology builds, and the
 	// full/incremental SPF split.
 	Rebuild olsr.RebuildStats
+	// Metrics is the run's end-of-run observability-registry snapshot.
+	// Empty unless the scenario sets Obs.Metrics.
+	Metrics obs.Snapshot
+	// Trace holds the run's sampled packet-path trace events in virtual
+	// event order. Nil unless the scenario sets a positive Obs.TraceEvery.
+	Trace []obs.TraceEvent
 }
 
 // Result is a completed scenario execution: Runs replicate runs of the same

@@ -182,6 +182,23 @@ type Traffic struct {
 	Mix []traffic.Spec
 }
 
+// Obs configures the observability layer of a run. The zero value keeps
+// everything off: no registry is attached, the tracer stays nil (one nil
+// compare per packet on the data plane), and every measurement golden stays
+// bit-identical.
+type Obs struct {
+	// Metrics attaches a metrics registry to every run and snapshots it at
+	// the end of the run (RunResult.Metrics). The registry reads the run's
+	// existing counters lazily at snapshot time — it adds nothing to the
+	// event hot path.
+	Metrics bool
+	// TraceEvery, when positive, samples one in TraceEvery data packets for
+	// hop-by-hop path tracing (RunResult.Trace, Chrome trace-event format).
+	// Sampling is keyed by packet identity (flow, seq), never by arrival
+	// order, so the trace is byte-identical at every worker count.
+	TraceEvery int
+}
+
 // Phase is one timeline entry: an action applied at a virtual time.
 type Phase struct {
 	// At is the virtual time the action fires.
@@ -222,6 +239,9 @@ type Scenario struct {
 	// affects wall-clock time only: each node's table is a pure function
 	// of that node's state, so results are bit-identical at every setting.
 	Workers int
+	// Obs configures metrics collection and packet path tracing (default
+	// all off).
+	Obs Obs
 }
 
 // WithDefaults returns a copy with every unset knob at its default.
@@ -303,6 +323,9 @@ func (sc Scenario) Validate() error {
 				return fmt.Errorf("scenario: traffic mix %d starts at %v, after the %v duration", i, sp.Start, sc.Duration)
 			}
 		}
+	}
+	if sc.Obs.TraceEvery < 0 {
+		return fmt.Errorf("scenario: negative trace sampling period %d", sc.Obs.TraceEvery)
 	}
 	if sc.SampleEvery < minSampleEvery {
 		return fmt.Errorf("scenario: sample interval %v below minimum %v", sc.SampleEvery, minSampleEvery)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"qolsr/internal/graph"
+	"qolsr/internal/obs"
 	"qolsr/internal/olsr"
 )
 
@@ -53,6 +54,9 @@ type dataPacket struct {
 	sink   DataSink
 	cookie uint64
 	done   func(delivered bool, hops int, latency time.Duration)
+	// pt is the packet's path trace when it was sampled (nil for the
+	// overwhelming majority). Pooled packets must clear it on reuse.
+	pt *obs.PacketTrace
 }
 
 // Fire implements des.Event: the packet arrived at its next hop.
@@ -84,9 +88,21 @@ func (nw *Network) SendDataSized(src, dst int32, size int, done func(delivered b
 // through sink.PacketDone(cookie, ...) — the allocation-free path for
 // sustained flows.
 func (nw *Network) SendDataTo(src, dst int32, size int, sink DataSink, cookie uint64) {
+	nw.SendDataTraced(src, dst, size, sink, cookie, nil)
+}
+
+// SendDataTraced is SendDataTo with an optional path trace attached: the
+// traffic engine starts a trace for sampled packets and the data plane
+// records every hop and the final outcome on it. A nil trace is the common
+// case and adds one pointer store.
+func (nw *Network) SendDataTraced(src, dst int32, size int, sink DataSink, cookie uint64, pt *obs.PacketTrace) {
 	p := nw.newPacket(src, dst, size)
 	p.sink = sink
 	p.cookie = cookie
+	if pt != nil {
+		p.pt = pt
+		pt.Hop(src, nw.Engine.Now(), 0)
+	}
 	nw.stepData(p)
 }
 
@@ -107,13 +123,14 @@ func (nw *Network) newPacket(src, dst int32, size int) *dataPacket {
 	p.sink = nil
 	p.cookie = 0
 	p.done = nil
+	p.pt = nil
 	return p
 }
 
 // finishData completes a packet (delivery or drop) and recycles it.
 func (nw *Network) finishData(p *dataPacket, delivered bool, hops int, latency time.Duration) {
 	sink, cookie, done := p.sink, p.cookie, p.done
-	p.sink, p.done = nil, nil
+	p.sink, p.done, p.pt = nil, nil, nil
 	nw.pktPool = append(nw.pktPool, p)
 	switch {
 	case sink != nil:
@@ -138,17 +155,26 @@ again:
 		latency := nw.Engine.Now() - p.start
 		nw.Data.HopsTotal += uint64(hops)
 		nw.Data.LatencyTotal += latency
+		if p.pt != nil {
+			p.pt.Finish("delivered", nw.Engine.Now())
+		}
 		nw.finishData(p, true, hops, latency)
 		return
 	}
 	if p.ttl <= 0 {
 		nw.Data.Expired++
+		if p.pt != nil {
+			p.pt.Finish("ttl-expired", nw.Engine.Now())
+		}
 		nw.finishData(p, false, 0, 0)
 		return
 	}
 	routes, err := nw.Nodes[p.at].Routes(nw.Engine.Now())
 	if err != nil {
 		nw.Data.NoRoute++
+		if p.pt != nil {
+			p.pt.Finish("no-route", nw.Engine.Now())
+		}
 		nw.finishData(p, false, 0, 0)
 		return
 	}
@@ -172,6 +198,9 @@ again:
 	}
 	if !fe.ok {
 		nw.Data.NoRoute++
+		if p.pt != nil {
+			p.pt.Finish("no-route", nw.Engine.Now())
+		}
 		nw.finishData(p, false, 0, 0)
 		return
 	}
@@ -181,6 +210,9 @@ again:
 	// The ideal medium's plan is a constant (deliver after idealHop, no
 	// medium state), so it skips the call.
 	if d := nw.idealHop; d != 0 {
+		if p.pt != nil {
+			p.pt.Hop(next, nw.Engine.Now()+d, 0)
+		}
 		p.at = next
 		p.ttl--
 		nw.Engine.Queue.AfterFixed(d, p)
@@ -190,8 +222,14 @@ again:
 	plan := nw.medium.PlanFrame(p.at, nw.unicast[:], int(p.size), nw.Engine.Now())
 	if len(plan) == 0 {
 		nw.Data.Lost++
+		if p.pt != nil {
+			p.pt.Finish("medium-loss", nw.Engine.Now())
+		}
 		nw.finishData(p, false, 0, 0)
 		return
+	}
+	if p.pt != nil {
+		p.pt.Hop(next, nw.Engine.Now()+plan[0].Delay, plan[0].Wait)
 	}
 	p.at = next
 	p.ttl--

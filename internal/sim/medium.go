@@ -20,10 +20,29 @@ import (
 
 // Hop is one planned frame reception: the receiver and the total latency
 // (queueing + serialization + propagation + jitter) from the moment the
-// sender handed the frame to the medium.
+// sender handed the frame to the medium. Wait is the queueing component
+// alone — how long the frame sat behind the sender's busy transmitter —
+// which path tracing reports per hop; ideal media leave it zero.
 type Hop struct {
 	Dst   int32
 	Delay time.Duration
+	Wait  time.Duration
+}
+
+// MediumStats is a medium's cumulative frame accounting: plain fields
+// bumped on the planning path (no atomics — media are single-goroutine)
+// and read lazily by the observability registry.
+type MediumStats struct {
+	// FramesPlanned counts transmissions handed to the medium.
+	FramesPlanned uint64
+	// Receptions counts planned per-receiver deliveries.
+	Receptions uint64
+	// ReceptionsLost counts per-receiver losses (the keyed loss draw).
+	ReceptionsLost uint64
+	// FramesStalled counts transmissions that waited behind a busy
+	// transmitter, and StallTime accumulates that serialization queue wait.
+	FramesStalled uint64
+	StallTime     time.Duration
 }
 
 // Medium is the radio model one Network transmits through. Implementations
@@ -62,8 +81,9 @@ func MediumNames() []string { return []string{"ideal", "lossy"} }
 // Sec. IV-A). It makes no RNG draws, so a network over an explicit
 // IdealMedium is bit-identical to one built with a nil medium.
 type IdealMedium struct {
-	prop time.Duration
-	hops []Hop
+	prop  time.Duration
+	hops  []Hop
+	stats MediumStats
 }
 
 // NewIdealMedium returns the ideal MAC with the given propagation delay
@@ -84,6 +104,9 @@ func (m *IdealMedium) Attach(*Network) {}
 // HopDelayBound implements Medium.
 func (m *IdealMedium) HopDelayBound() time.Duration { return m.prop }
 
+// Stats returns the cumulative frame accounting.
+func (m *IdealMedium) Stats() MediumStats { return m.stats }
+
 // PlanFrame implements Medium: every candidate receives the frame after the
 // propagation delay.
 func (m *IdealMedium) PlanFrame(src int32, dsts []int32, size int, now time.Duration) []Hop {
@@ -91,6 +114,8 @@ func (m *IdealMedium) PlanFrame(src int32, dsts []int32, size int, now time.Dura
 	for _, dst := range dsts {
 		m.hops = append(m.hops, Hop{Dst: dst, Delay: m.prop})
 	}
+	m.stats.FramesPlanned++
+	m.stats.Receptions += uint64(len(m.hops))
 	return m.hops
 }
 
@@ -185,7 +210,8 @@ type LossyMedium struct {
 	perEdge  []float64
 	serEdge  []float64
 
-	hops []Hop
+	hops  []Hop
+	stats MediumStats
 }
 
 // NewLossyMedium returns a lossy medium with the given configuration.
@@ -289,6 +315,11 @@ func (m *LossyMedium) PlanFrame(src int32, dsts []int32, size int, now time.Dura
 		start = m.busy[src]
 	}
 	queue := start - now
+	m.stats.FramesPlanned++
+	if queue > 0 {
+		m.stats.FramesStalled++
+		m.stats.StallTime += queue
+	}
 
 	var maxSer time.Duration
 	for _, dst := range dsts {
@@ -309,6 +340,7 @@ func (m *LossyMedium) PlanFrame(src int32, dsts []int32, size int, now time.Dura
 		if per > 0 {
 			u := rng.Unit(rng.Mix(m.base, drawLoss, uint64(uint32(src)), uint64(uint32(dst)), seq))
 			if u < per {
+				m.stats.ReceptionsLost++
 				continue // frame lost on this link
 			}
 		}
@@ -317,11 +349,15 @@ func (m *LossyMedium) PlanFrame(src int32, dsts []int32, size int, now time.Dura
 			j := rng.Mix(m.base, drawJitter, uint64(uint32(src)), uint64(uint32(dst)), seq)
 			delay += time.Duration(j % uint64(m.cfg.Jitter))
 		}
-		m.hops = append(m.hops, Hop{Dst: dst, Delay: delay})
+		m.hops = append(m.hops, Hop{Dst: dst, Delay: delay, Wait: queue})
 	}
 	m.busy[src] = start + maxSer
+	m.stats.Receptions += uint64(len(m.hops))
 	return m.hops
 }
+
+// Stats returns the cumulative frame accounting.
+func (m *LossyMedium) Stats() MediumStats { return m.stats }
 
 // refreshEdgeCaches re-derives the per-edge PER and serialization-rate
 // caches when any of their inputs moved.

@@ -6,6 +6,7 @@ import (
 
 	"qolsr/internal/graph"
 	"qolsr/internal/metric"
+	"qolsr/internal/obs"
 	"qolsr/internal/olsr"
 	"qolsr/internal/rng"
 )
@@ -29,6 +30,10 @@ type TrafficStats struct {
 	// TCForwarded / TCForwardedBytes count MPR re-broadcasts.
 	TCForwarded      uint64
 	TCForwardedBytes uint64
+	// DupSuppressed counts TC-family deliveries dropped by the simulator's
+	// flood duplicate suppression (the external form of the nodes' dup
+	// windows — see floodState).
+	DupSuppressed uint64
 }
 
 // Network runs one OLSR/QOLSR protocol instance per node of a physical
@@ -43,6 +48,10 @@ type Network struct {
 	Stats  TrafficStats
 	// Data accounts data-plane packets injected with SendData.
 	Data DataStats
+	// Tracer, when non-nil, records sampled data-packet path traces. The
+	// data plane guards every touch with one pointer compare, so a nil
+	// tracer costs nothing and changes nothing.
+	Tracer *obs.Tracer
 
 	cfg     olsr.Config
 	channel string
@@ -500,6 +509,7 @@ func (nw *Network) deliverFrame(f *controlFrame, to int32) {
 		node.HandleHello(f.hello, now)
 	case f.tc != nil:
 		if f.flood.testAndSet(to) {
+			nw.Stats.DupSuppressed++
 			return // already handed to this receiver via another relay
 		}
 		if node.HandleTC(f.tc, int64(nw.Phys.ID(f.from)), now) && f.ttl != 1 {
@@ -512,6 +522,7 @@ func (nw *Network) deliverFrame(f *controlFrame, to int32) {
 		}
 	case f.tcd != nil:
 		if f.flood.testAndSet(to) {
+			nw.Stats.DupSuppressed++
 			return
 		}
 		if node.HandleTCDelta(f.tcd, int64(nw.Phys.ID(f.from)), now) && f.ttl != 1 {

@@ -123,6 +123,8 @@ func (nw *Network) RebuildTotals() olsr.RebuildStats {
 		t.TopoBuilds += s.TopoBuilds
 		t.SPFFull += s.SPFFull
 		t.SPFIncremental += s.SPFIncremental
+		t.DupHits += s.DupHits
+		t.DeltaResyncs += s.DeltaResyncs
 	}
 	return t
 }

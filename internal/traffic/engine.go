@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"qolsr/internal/obs"
 	"qolsr/internal/rng"
 	"qolsr/internal/sim"
 	"qolsr/internal/stats"
@@ -28,10 +29,13 @@ type Counters struct {
 type accum struct {
 	sent, completed, delivered uint64
 	bytesSent, bytesDelivered  uint64
-	hops                       stats.Accumulator
-	delay                      stats.Accumulator
-	p50, p95, p99              *stats.Quantile
-	jitter                     stats.Accumulator
+	// admitted / rejected count admission-gate decisions (class and total
+	// accumulators only; flows carry the Decision itself).
+	admitted, rejected uint64
+	hops               stats.Accumulator
+	delay              stats.Accumulator
+	p50, p95, p99      *stats.Quantile
+	jitter             stats.Accumulator
 }
 
 func newAccum() accum {
@@ -208,8 +212,12 @@ func (e *Engine) admit(fs *flowState) {
 	fs.decision = e.gate.Decide(fs.Src, fs.Dst, fs.Req)
 	fs.decided = true
 	if !fs.decision.Admitted {
+		fs.cls.rejected++
+		e.totalAcc.rejected++
 		return
 	}
+	fs.cls.admitted++
+	e.totalAcc.admitted++
 	if first := fs.src.first(e.nw.Engine.Now()); first <= e.stop {
 		e.nw.Engine.Queue.At(first, fs)
 	}
@@ -228,7 +236,13 @@ func (e *Engine) emit(fs *flowState) {
 	fs.cls.bytesSent += uint64(size)
 	e.counters.Sent++
 
-	e.nw.SendDataTo(fs.Src, fs.Dst, size, e, uint64(fs.ID)<<32|uint64(uint32(size)))
+	// Path tracing samples by packet identity (flow, seq) — the keyed draw
+	// lives in the tracer; with tracing off this is one nil compare.
+	var pt *obs.PacketTrace
+	if tr := e.nw.Tracer; tr != nil {
+		pt = tr.Start(uint32(fs.ID), seq)
+	}
+	e.nw.SendDataTraced(fs.Src, fs.Dst, size, e, uint64(fs.ID)<<32|uint64(uint32(size)), pt)
 }
 
 // PacketDone implements sim.DataSink: one packet of the cookie's flow

@@ -1,0 +1,82 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"qolsr/internal/obs"
+	"qolsr/internal/sim"
+)
+
+// runTrafficWorkload is the BenchmarkTrafficEngine/ideal workload with the
+// observability layer in one of three states: absent, registry-instrumented
+// (lazy collectors only), or fully on with 1-in-64 packet tracing.
+func runTrafficWorkload(b *testing.B, instrument bool, traceEvery int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nw := benchNetwork(b, sim.NewIdealMedium(0))
+		if traceEvery > 0 {
+			nw.Tracer = obs.NewTracer(12, traceEvery, 0)
+		}
+		eng := NewEngine(nw, 12)
+		pairs := make([][2]int32, 16)
+		for k := range pairs {
+			pairs[k] = [2]int32{int32(k % 50), int32((k*7 + 13) % 50)}
+		}
+		flows, err := FlowsFromSpecs([]Spec{
+			{Class: "cbr", Count: 8, RateBps: 16384},
+			{Class: "video", Count: 8, RateBps: 16384},
+		}, pairs, nw.Engine.Now())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range flows {
+			if err := eng.Add(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if instrument {
+			reg := obs.New()
+			nw.Instrument(reg)
+			eng.Instrument(reg)
+		}
+		stop := nw.Engine.Now() + 20*time.Second
+		if err := eng.Start(stop); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		nw.Run(stop + time.Second)
+	}
+}
+
+// BenchmarkTrafficEngineObs puts numbers on the observability layer's cost
+// against BenchmarkTrafficEngine/ideal: "registry" is lazy collectors only
+// (the disabled hot path), "traced" adds 1-in-64 packet path tracing.
+func BenchmarkTrafficEngineObs(b *testing.B) {
+	b.Run("registry", func(b *testing.B) { runTrafficWorkload(b, true, 0) })
+	b.Run("traced", func(b *testing.B) { runTrafficWorkload(b, true, 64) })
+}
+
+// TestObsRegistryAddsNoAllocs is the CI guard on the tentpole's zero-cost
+// claim: running the BenchmarkTrafficEngine workload with the registry
+// instrumented must allocate exactly what the plain run allocates — the
+// collectors are lazy, so nothing of the obs layer touches the packet hot
+// path. (The companion claim — that disabled handles and a nil tracer are
+// themselves zero-alloc — is pinned in internal/obs/registry_test.go.)
+func TestObsRegistryAddsNoAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	measure := func(instrument bool) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			runTrafficWorkload(b, instrument, 0)
+		})
+	}
+	plain := measure(false)
+	instrumented := measure(true)
+	if extra := instrumented.AllocsPerOp() - plain.AllocsPerOp(); extra > 0 {
+		t.Errorf("registry instrumentation added %d allocs/op (plain %d, instrumented %d)",
+			extra, plain.AllocsPerOp(), instrumented.AllocsPerOp())
+	}
+}
